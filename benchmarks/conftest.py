@@ -1,0 +1,44 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs its experiment exactly once through pytest-benchmark's
+pedantic mode (learning runs are seconds, not microseconds) and prints a
+``paper vs measured`` row that ends up in bench_output.txt, feeding
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round (results are cached runs)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def report(experiment_id: str, rows: list[tuple[str, object, object]]) -> None:
+    """Print a paper-vs-measured table row block."""
+    print(f"\n[{experiment_id}]")
+    for name, paper, measured in rows:
+        print(f"  {name:<38} paper: {paper!s:>14}  measured: {measured!s:>14}")
+
+
+@pytest.fixture(scope="session")
+def quic_google():
+    from repro.experiments import learn_quic
+
+    return learn_quic("google")
+
+
+@pytest.fixture(scope="session")
+def quic_quiche():
+    from repro.experiments import learn_quic
+
+    return learn_quic("quiche")
+
+
+@pytest.fixture(scope="session")
+def tcp_full():
+    from repro.experiments import learn_tcp_full
+
+    return learn_tcp_full()

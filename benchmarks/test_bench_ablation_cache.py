@@ -1,0 +1,33 @@
+"""A2 -- Ablation: the query cache of section 3.2's optimizations."""
+
+from conftest import report, run_once
+
+from repro.adapter.tcp_adapter import TCPAdapterSUL
+from repro.framework import Prognosis
+
+
+def test_ablation_cache_on_off(benchmark):
+    def run_both():
+        cached = Prognosis(TCPAdapterSUL(seed=3), use_cache=True, name="cached")
+        cached_report = cached.learn()
+        uncached = Prognosis(TCPAdapterSUL(seed=3), use_cache=False, name="uncached")
+        uncached_report = uncached.learn()
+        return cached_report, uncached_report
+
+    cached_report, uncached_report = run_once(benchmark, run_both)
+    report(
+        "A2 query cache",
+        [
+            ("SUL queries with cache", "-", cached_report.sul_queries),
+            ("SUL queries without cache", "-", uncached_report.sul_queries),
+            ("cache hit rate", "-", f"{cached_report.cache_hit_rate:.0%}"),
+            (
+                "query savings",
+                "substantial",
+                f"{uncached_report.sul_queries / cached_report.sul_queries:.2f}x",
+            ),
+        ],
+    )
+    assert cached_report.model.num_states == uncached_report.model.num_states
+    assert cached_report.sul_queries < uncached_report.sul_queries
+    assert cached_report.cache_hit_rate > 0.3

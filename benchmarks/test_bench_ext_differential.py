@@ -1,0 +1,42 @@
+"""Extension bench -- model-based differential testing (paper sections 5/7).
+
+The learned Quiche model's test suite is replayed against both a fresh
+Quiche-like SUL (conformance: zero divergences) and the Google-like SUL
+(differential testing: the design differences of section 6.2 surface as
+divergences with concrete witnesses).
+"""
+
+from conftest import report, run_once
+
+from repro.analysis.testgen import differential_test, generate_test_suite
+from repro.experiments import make_quic_sul
+
+
+def test_differential_testing_quic(benchmark, quic_quiche):
+    model = quic_quiche.model
+    suite = generate_test_suite(model, "transition-cover")
+
+    def run_both():
+        conformance = differential_test(
+            model, make_quic_sul("quiche", seed=321), suite
+        )
+        cross = differential_test(model, make_quic_sul("google", seed=321), suite)
+        return conformance, cross
+
+    conformance, cross = run_once(benchmark, run_both)
+    report(
+        "EXT differential testing",
+        [
+            ("suite size (transition cover)", "-", conformance.suite_size),
+            ("self-conformance divergences", 0, len(conformance.divergences)),
+            ("cross-implementation divergences", "> 0", len(cross.divergences)),
+            (
+                "first divergence",
+                "design difference",
+                cross.divergences[0].render()[:60] if cross.divergences else "-",
+            ),
+        ],
+    )
+    assert conformance.conforms
+    assert not cross.conforms
+    assert cross.divergence_rate > 0.3

@@ -1,0 +1,59 @@
+"""Reproduce the four QUIC findings of paper section 6.2.
+
+* Issue 1 -- RFC imprecision: strict vs lenient post-RETRY packet-number
+  handling produces models of vastly different sizes.
+* Issue 2 -- mvfst nondeterminism: after a close, stateless RESETs come
+  back only ~82% of the time (a DoS-amplifying bug).
+* Issue 3 -- QUIC-Tracker port bug: the RETRY token returns from a random
+  port, so the learned model shows connection establishment is impossible.
+* Issue 4 -- Google's STREAM_DATA_BLOCKED carries a constant 0 where live
+  flow-control state belongs.
+
+Run:  python examples/find_quic_bugs.py      (takes a few minutes)
+"""
+
+from repro.experiments import (
+    issue1_retry_divergence,
+    issue2_nondeterminism,
+    issue3_retry_port,
+    issue4_stream_data_blocked,
+)
+
+
+def main() -> None:
+    print("=== Issue 1: RFC imprecision on post-RETRY packet-number reset ===")
+    issue1 = issue1_retry_divergence()
+    strict_states, lenient_states = issue1.sizes
+    print(f"strict (Google-like) model : {strict_states} states")
+    print(f"lenient (Quiche-like) model: {lenient_states} states")
+    print(issue1.diff.render())
+    print()
+
+    print("=== Issue 2: nondeterministic stateless resets in mvfst ===")
+    issue2 = issue2_nondeterminism(samples=200)
+    print(f"learning aborted with: {issue2.error}")
+    print(
+        f"measured RESET rate: {issue2.reset_rate:.0%} "
+        f"(paper: ~{issue2.expected_rate:.0%}) -- no back-off: DoS risk"
+    )
+    print()
+
+    print("=== Issue 3: RETRY token returned from the wrong port ===")
+    issue3 = issue3_retry_port()
+    print(f"buggy reference client: establishes = {issue3.buggy_establishes}")
+    print(f"fixed reference client: establishes = {issue3.fixed_establishes}")
+    print(issue3.diff.render())
+    print()
+
+    print("=== Issue 4: STREAM_DATA_BLOCKED.maximum_stream_data == 0 ===")
+    issue4 = issue4_stream_data_blocked()
+    print(f"buggy server: synthesized field value = constant {issue4.buggy_constant}")
+    print(
+        "fixed server: synthesized field value = "
+        + ("constant " + str(issue4.fixed_constant) if issue4.fixed_constant is not None
+           else "state-dependent (not a constant)")
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so pip's PEP 660
+editable-install path cannot build an editable wheel.  Providing setup.py
+lets ``pip install -e .`` fall back to ``setup.py develop``, which works
+without wheel.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Prognosis: closed-box learning and analysis of protocol implementations.
+
+A reproduction of "Prognosis: Closed-Box Analysis of Network Protocol
+Implementations" (Ferreira, Brewton, D'Antoni, Silva -- SIGCOMM 2021).
+
+Quickstart::
+
+    from repro import Prognosis
+    from repro.adapter.tcp_adapter import TCPAdapterSUL
+
+    prognosis = Prognosis(TCPAdapterSUL())
+    report = prognosis.learn()
+    print(report.summary())          # 6 states, 42 transitions
+    print(report.model.to_dot())     # appendix-style GraphViz rendering
+"""
+
+from .framework import LearningReport, Prognosis
+
+__version__ = "1.0.0"
+
+__all__ = ["LearningReport", "Prognosis", "__version__"]

@@ -1,0 +1,19 @@
+"""Adapter layer: SUL interface, packet queue, protocol adapters."""
+
+from .queue import PacketQueue, QueuedPacket
+from .quic_adapter import QUICAdapterSUL, abstract_packet, abstract_response
+from .sul import SUL, SULStats
+from .tcp_adapter import TCPAdapterSUL, abstract_segment, segment_params
+
+__all__ = [
+    "PacketQueue",
+    "QUICAdapterSUL",
+    "QueuedPacket",
+    "SUL",
+    "SULStats",
+    "TCPAdapterSUL",
+    "abstract_packet",
+    "abstract_response",
+    "abstract_segment",
+    "segment_params",
+]

@@ -1,0 +1,32 @@
+"""A SUL backed directly by a Mealy machine.
+
+Useful for testing learners against known ground truth, for model-based
+mutation experiments, and for replaying learned models as simulated
+implementations (model-based test generation, paper section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.alphabet import AbstractSymbol
+from ..core.mealy import MealyMachine
+from .sul import SUL
+
+
+class MealySUL(SUL):
+    """Wraps a machine behind the reset/step SUL interface."""
+
+    def __init__(self, machine: MealyMachine, name: str | None = None) -> None:
+        super().__init__(machine.input_alphabet, name=name or machine.name)
+        self.machine = machine
+        self._state = machine.initial_state
+
+    def _reset_impl(self) -> None:
+        self._state = self.machine.initial_state
+
+    def _step_impl(
+        self, symbol: AbstractSymbol
+    ) -> tuple[AbstractSymbol, Mapping[str, int], Mapping[str, int]]:
+        self._state, output = self.machine.step(self._state, symbol)
+        return output, {}, {}

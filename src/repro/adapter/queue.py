@@ -1,0 +1,55 @@
+"""The pending-packet queue of adapter property 1 (paper listing 1).
+
+When the reference implementation would *react* to a received packet by
+sending something (an ACK, a retransmission), that packet must not reach
+the target unrequested.  Instead it is parked here; when the learner later
+requests a matching abstract symbol, the queued packet is sent in
+preference to building a new one from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Hashable, TypeVar
+
+P = TypeVar("P")
+
+
+@dataclass
+class QueuedPacket(Generic[P]):
+    abstract_key: Hashable
+    packet: P
+
+
+class PacketQueue(Generic[P]):
+    """FIFO queue of concrete packets keyed by their abstract symbol."""
+
+    def __init__(self) -> None:
+        self._items: list[QueuedPacket[P]] = []
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, abstract_key: Hashable, packet: P) -> None:
+        """Park a reaction packet until the learner requests it."""
+        self._items.append(QueuedPacket(abstract_key, packet))
+
+    def find(self, abstract_key: Hashable) -> P | None:
+        """Pop the oldest queued packet matching the abstract request."""
+        for index, item in enumerate(self._items):
+            if item.abstract_key == abstract_key:
+                self.hits += 1
+                del self._items[index]
+                return item.packet
+        self.misses += 1
+        return None
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

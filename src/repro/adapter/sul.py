@@ -1,0 +1,83 @@
+"""The System Under Learning interface (paper section 3).
+
+A :class:`SUL` packages an implementation and its adapter behind the two
+operations active learning needs: *reset* and *step*.  The base class adds
+query bookkeeping, Oracle-Table recording (adapter property 4) and
+statistics that the benchmarks report (membership queries, resets, symbols
+sent).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.alphabet import AbstractSymbol, Alphabet
+from ..core.oracle_table import OracleTable
+from ..core.trace import Word
+
+
+@dataclass
+class SULStats:
+    """Counters the paper reports for each learning run."""
+
+    queries: int = 0
+    steps: int = 0
+    resets: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {"queries": self.queries, "steps": self.steps, "resets": self.resets}
+
+
+class SUL(ABC):
+    """An implementation + adapter pair, queryable with abstract words."""
+
+    def __init__(self, input_alphabet: Alphabet, name: str = "sul") -> None:
+        self.input_alphabet = input_alphabet
+        self.name = name
+        self.oracle_table = OracleTable()
+        self.stats = SULStats()
+
+    # -- subclass responsibilities ---------------------------------------
+    @abstractmethod
+    def _reset_impl(self) -> None:
+        """Return the implementation and the adapter to their initial state."""
+
+    @abstractmethod
+    def _step_impl(
+        self, symbol: AbstractSymbol
+    ) -> tuple[AbstractSymbol, Mapping[str, int], Mapping[str, int]]:
+        """Send one abstract symbol; return (abstract output, concrete input
+        parameters, concrete output parameters)."""
+
+    # -- public interface -------------------------------------------------
+    def reset(self) -> None:
+        self.stats.resets += 1
+        self._reset_impl()
+
+    def step(self, symbol: AbstractSymbol) -> AbstractSymbol:
+        """One step without Oracle-Table recording (used by random walks)."""
+        self.stats.steps += 1
+        output, _, _ = self._step_impl(symbol)
+        return output
+
+    def query(self, word: Sequence[AbstractSymbol]) -> Word:
+        """A complete membership query: reset, run the word, record.
+
+        The abstract trace *and* the concrete parameters of every step are
+        stored in the Oracle Table for later synthesis (section 4.3).
+        """
+        self.stats.queries += 1
+        self.reset()
+        outputs: list[AbstractSymbol] = []
+        input_params: list[Mapping[str, int]] = []
+        output_params: list[Mapping[str, int]] = []
+        for symbol in word:
+            self.stats.steps += 1
+            output, in_params, out_params = self._step_impl(symbol)
+            outputs.append(output)
+            input_params.append(in_params)
+            output_params.append(out_params)
+        self.oracle_table.record(tuple(word), tuple(outputs), input_params, output_params)
+        return tuple(outputs)

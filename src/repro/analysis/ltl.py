@@ -1,0 +1,286 @@
+"""LTLf: linear temporal logic over finite traces.
+
+Prognosis lets users state temporal properties such as "packet numbers are
+always increasing" or "a CONNECTION_CLOSE is never followed by application
+data" and checks them against learned models.  Formulas are evaluated over
+finite I/O traces with the standard LTLf semantics (X is the *strong*
+next: it fails at the last step).
+
+The surface syntax is a tiny combinator DSL plus a parser for a compact
+textual form::
+
+    G (out != CLOSE)            # globally
+    F (out == DONE)             # eventually
+    (in == SYN) -> X (out == SYNACK)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.alphabet import AbstractSymbol
+from ..core.trace import IOTrace
+
+
+class LTLError(ValueError):
+    """Raised on parse errors."""
+
+
+@dataclass(frozen=True)
+class Step:
+    """One evaluation position: the input and output at index i."""
+
+    input: AbstractSymbol
+    output: AbstractSymbol
+
+
+Predicate = Callable[[Step], bool]
+
+
+class Formula:
+    """Base class: an LTLf formula evaluable on a finite trace."""
+
+    def holds_at(self, trace: Sequence[Step], index: int) -> bool:
+        raise NotImplementedError
+
+    def holds(self, trace: IOTrace) -> bool:
+        steps = [Step(i, o) for i, o in trace]
+        if not steps:
+            return True  # the empty trace satisfies everything (vacuously)
+        return self.holds_at(steps, 0)
+
+    # -- combinators -----------------------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        return Or(Not(self), other)
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    predicate: Predicate
+    description: str = "atom"
+
+    def holds_at(self, trace: Sequence[Step], index: int) -> bool:
+        return self.predicate(trace[index])
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.description
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    inner: Formula
+
+    def holds_at(self, trace: Sequence[Step], index: int) -> bool:
+        return not self.inner.holds_at(trace, index)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def holds_at(self, trace: Sequence[Step], index: int) -> bool:
+        return self.left.holds_at(trace, index) and self.right.holds_at(trace, index)
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def holds_at(self, trace: Sequence[Step], index: int) -> bool:
+        return self.left.holds_at(trace, index) or self.right.holds_at(trace, index)
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    """Strong next: requires a successor position."""
+
+    inner: Formula
+
+    def holds_at(self, trace: Sequence[Step], index: int) -> bool:
+        return index + 1 < len(trace) and self.inner.holds_at(trace, index + 1)
+
+
+@dataclass(frozen=True)
+class Globally(Formula):
+    inner: Formula
+
+    def holds_at(self, trace: Sequence[Step], index: int) -> bool:
+        return all(self.inner.holds_at(trace, i) for i in range(index, len(trace)))
+
+
+@dataclass(frozen=True)
+class Eventually(Formula):
+    inner: Formula
+
+    def holds_at(self, trace: Sequence[Step], index: int) -> bool:
+        return any(self.inner.holds_at(trace, i) for i in range(index, len(trace)))
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    left: Formula
+    right: Formula
+
+    def holds_at(self, trace: Sequence[Step], index: int) -> bool:
+        for i in range(index, len(trace)):
+            if self.right.holds_at(trace, i):
+                return True
+            if not self.left.holds_at(trace, i):
+                return False
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Atom builders
+# ---------------------------------------------------------------------------
+
+def input_is(label: str) -> Atom:
+    return Atom(lambda s, l=label: str(s.input) == l, f"in == {label}")
+
+
+def output_is(label: str) -> Atom:
+    return Atom(lambda s, l=label: str(s.output) == l, f"out == {label}")
+
+
+def input_contains(fragment: str) -> Atom:
+    return Atom(lambda s, f=fragment: f in str(s.input), f"in ~ {fragment}")
+
+
+def output_contains(fragment: str) -> Atom:
+    return Atom(lambda s, f=fragment: f in str(s.output), f"out ~ {fragment}")
+
+
+# ---------------------------------------------------------------------------
+# Parser for the compact textual syntax
+# ---------------------------------------------------------------------------
+
+# Two-char operators first (so "!=" beats "!"), then punctuation, then
+# symbol labels: a brace multiset like "{HANDSHAKE(?,?)[CRYPTO]}", or a word
+# optionally followed by its "(...)" parameters and "[...]" frame list --
+# precise enough that the closing paren of a grouping never glues onto a
+# label.
+_TOKEN_RE = re.compile(
+    r"\s*(->|&&|\|\||==|!=|~|!|\(|\)|"
+    r"\{[^}]*\}|"
+    r"[A-Za-z0-9_+?]+(?:\([^)]*\))?(?:\[[^\]]*\])?)"
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise LTLError(f"cannot tokenize {text[position:]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent: implication < or < and < unary < atoms."""
+
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def take(self, expected: str | None = None) -> str:
+        token = self.peek()
+        if token is None:
+            raise LTLError("unexpected end of formula")
+        if expected is not None and token != expected:
+            raise LTLError(f"expected {expected!r}, got {token!r}")
+        self.position += 1
+        return token
+
+    def parse(self) -> Formula:
+        formula = self._implication()
+        if self.peek() is not None:
+            raise LTLError(f"trailing tokens: {self.tokens[self.position:]}")
+        return formula
+
+    def _implication(self) -> Formula:
+        left = self._until()
+        if self.peek() == "->":
+            self.take()
+            return left.implies(self._implication())
+        return left
+
+    def _until(self) -> Formula:
+        left = self._disjunction()
+        if self.peek() == "U":
+            self.take()
+            return Until(left, self._until())
+        return left
+
+    def _disjunction(self) -> Formula:
+        left = self._conjunction()
+        while self.peek() == "||":
+            self.take()
+            left = Or(left, self._conjunction())
+        return left
+
+    def _conjunction(self) -> Formula:
+        left = self._unary()
+        while self.peek() == "&&":
+            self.take()
+            left = And(left, self._unary())
+        return left
+
+    def _unary(self) -> Formula:
+        token = self.peek()
+        if token == "!":
+            self.take()
+            return Not(self._unary())
+        if token == "G":
+            self.take()
+            return Globally(self._unary())
+        if token == "F":
+            self.take()
+            return Eventually(self._unary())
+        if token == "X":
+            self.take()
+            return Next(self._unary())
+        if token == "(":
+            self.take()
+            inner = self._implication()
+            self.take(")")
+            return inner
+        return self._atom()
+
+    def _atom(self) -> Formula:
+        field = self.take()
+        if field not in ("in", "out"):
+            raise LTLError(f"expected 'in' or 'out', got {field!r}")
+        operator = self.take()
+        value = self.take()
+        if operator == "==":
+            return input_is(value) if field == "in" else output_is(value)
+        if operator == "!=":
+            atom = input_is(value) if field == "in" else output_is(value)
+            return Not(atom)
+        if operator == "~":
+            return input_contains(value) if field == "in" else output_contains(value)
+        raise LTLError(f"unknown operator {operator!r}")
+
+
+def parse_ltl(text: str) -> Formula:
+    """Parse the compact textual syntax into a formula."""
+    return _Parser(_tokenize(text)).parse()

@@ -1,0 +1,138 @@
+"""Property checking over learned models (paper section 5).
+
+For a Mealy machine and an LTLf property, checking "all traces up to a
+bound satisfy the property" is decidable by exhaustive exploration of the
+machine (the machine's trace set is regular, and traces of a given length
+are finitely many).  For extended machines with registers the problem is
+undecidable in general, so -- like the paper -- we fall back to randomised
+testing of concrete executions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.extended import ConcreteStep, ExtendedMealyMachine
+from ..core.mealy import MealyMachine, State
+from ..core.trace import EMPTY_TRACE, IOTrace
+from .ltl import Formula
+
+
+@dataclass(frozen=True)
+class PropertyViolation:
+    """A counterexample trace for a property."""
+
+    trace: IOTrace
+    description: str
+
+    def render(self) -> str:
+        return f"{self.description}: {self.trace.render()}"
+
+
+def check_property(
+    machine: MealyMachine, formula: Formula, depth: int
+) -> PropertyViolation | None:
+    """Exhaustively check all traces of length <= depth; None if they hold.
+
+    The learned model makes this tractable: instead of the |Sigma|^depth
+    blow-up against the live SUL, we explore the (few) machine states --
+    the trace-reduction argument of section 6.2.2.
+    """
+    violation = _explore(machine, formula, machine.initial_state, EMPTY_TRACE, depth)
+    return violation
+
+
+def _explore(
+    machine: MealyMachine,
+    formula: Formula,
+    state: State,
+    trace: IOTrace,
+    remaining: int,
+) -> PropertyViolation | None:
+    if len(trace) > 0 and not formula.holds(trace):
+        return PropertyViolation(trace=trace, description="LTLf violation")
+    if remaining == 0:
+        return None
+    for symbol in machine.input_alphabet:
+        target, output = machine.step(state, symbol)
+        violation = _explore(
+            machine, formula, target, trace.extend(symbol, output), remaining - 1
+        )
+        if violation is not None:
+            return violation
+    return None
+
+
+def check_invariant(
+    machine: MealyMachine,
+    predicate: Callable[[IOTrace], bool],
+    depth: int,
+) -> PropertyViolation | None:
+    """Check an arbitrary trace predicate on all traces up to ``depth``."""
+
+    class _Wrapper(Formula):
+        def holds(self, trace: IOTrace) -> bool:  # type: ignore[override]
+            return predicate(trace)
+
+        def holds_at(self, steps, index):  # pragma: no cover - unused
+            raise NotImplementedError
+
+    return check_property(machine, _Wrapper(), depth)
+
+
+# ---------------------------------------------------------------------------
+# Register properties on extended machines: randomised testing
+# ---------------------------------------------------------------------------
+
+RegisterPredicate = Callable[[Sequence[ConcreteStep], Sequence[dict]], bool]
+
+
+@dataclass(frozen=True)
+class RegisterViolation:
+    steps: tuple[ConcreteStep, ...]
+    predictions: tuple[dict, ...]
+    description: str
+
+
+def check_register_property(
+    machine: ExtendedMealyMachine,
+    concrete_traces: Sequence[Sequence[ConcreteStep]],
+    predicate: RegisterPredicate,
+    description: str = "register property",
+) -> RegisterViolation | None:
+    """Test a predicate over (observed steps, predicted outputs) pairs.
+
+    Used for quantity properties like "packet numbers are always
+    increasing" or "``maximum_stream_data`` is not constant" (Issue 4).
+    """
+    for steps in concrete_traces:
+        try:
+            predictions = machine.execute(list(steps))
+        except KeyError:
+            continue
+        if not predicate(steps, predictions):
+            return RegisterViolation(
+                steps=tuple(steps),
+                predictions=tuple(predictions),
+                description=description,
+            )
+    return None
+
+
+def random_traces(
+    machine: MealyMachine,
+    num_traces: int,
+    max_length: int,
+    seed: int = 0,
+) -> list[IOTrace]:
+    """Sample random traces from a model (for model-based test generation)."""
+    rng = random.Random(seed)
+    symbols = list(machine.input_alphabet)
+    traces = []
+    for _ in range(num_traces):
+        length = rng.randint(1, max_length)
+        word = tuple(rng.choice(symbols) for _ in range(length))
+        traces.append(machine.trace(word))
+    return traces

@@ -1,0 +1,191 @@
+"""A reusable QUIC property suite (paper section 6.2.2).
+
+The paper checks learned models against "a subset of the properties from
+IETF's Draft 29", e.g. *an endpoint must not send data on a stream at or
+beyond the final size* and handshake-ordering rules.  This module packages
+the checkable subset as named properties over learned Mealy models, each
+implemented as a trace predicate evaluated exhaustively up to a depth.
+
+Properties deliberately include one that *differs by design decision*
+between implementations (close-frame bundling), illustrating the paper's
+point that a difference is "not necessarily a bug, it can also signal
+different design decisions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.mealy import MealyMachine
+from ..core.trace import IOTrace
+from .properties import PropertyViolation, check_invariant
+
+TracePredicate = Callable[[IOTrace], bool]
+
+
+@dataclass(frozen=True)
+class QUICProperty:
+    """A named, documented property with its RFC-level motivation."""
+
+    name: str
+    description: str
+    predicate: TracePredicate
+
+
+def _outputs_with(trace: IOTrace, fragment: str) -> list[int]:
+    return [i for i, o in enumerate(trace.outputs) if fragment in str(o)]
+
+
+def _inputs_with(trace: IOTrace, fragment: str) -> list[int]:
+    return [i for i, s in enumerate(trace.inputs) if fragment in str(s)]
+
+
+def handshake_done_only_after_finished(trace: IOTrace) -> bool:
+    """The server may signal HANDSHAKE_DONE only after the client's
+    Finished (a HANDSHAKE[ACK,CRYPTO] input) -- RFC 9001 section 4.1.2."""
+    done_positions = [
+        i
+        for i in _outputs_with(trace, "HANDSHAKE_DONE")
+        # only 1-RTT HANDSHAKE_DONE outputs, not echoes of our input
+    ]
+    if not done_positions:
+        return True
+    finished_positions = _inputs_with(trace, "HANDSHAKE(?,?)[ACK,CRYPTO]")
+    if not finished_positions:
+        return False
+    return min(done_positions) >= min(finished_positions)
+
+
+def no_server_flight_without_hello(trace: IOTrace) -> bool:
+    """CRYPTO responses require a ClientHello first (INITIAL[CRYPTO])."""
+    crypto_positions = _outputs_with(trace, "[ACK,CRYPTO]")
+    if not crypto_positions:
+        return True
+    hello_positions = _inputs_with(trace, "INITIAL(?,?)[CRYPTO]")
+    if not hello_positions:
+        return False
+    return min(crypto_positions) >= min(hello_positions)
+
+
+def close_is_terminal_for_data(trace: IOTrace) -> bool:
+    """After the server closes, it never starts *new* application data.
+
+    Close retransmissions may still bundle the close frame itself; this
+    property flags outputs that carry STREAM data *without* the close.
+    """
+    close_positions = _outputs_with(trace, "CONNECTION_CLOSE")
+    if not close_positions:
+        return True
+    first_close = min(close_positions)
+    for i in range(first_close + 1, len(trace)):
+        output = str(trace.outputs[i])
+        if "STREAM" in output and "CONNECTION_CLOSE" not in output:
+            return False
+    return True
+
+
+def client_done_draws_close(trace: IOTrace) -> bool:
+    """A client-sent HANDSHAKE_DONE after the handshake must be answered
+    with a connection error (it is a server-only frame, RFC 9000 19.20).
+
+    Only 1-RTT (SHORT) packets are held to this: Initial/Handshake-space
+    packets may legitimately be dropped once their keys are discarded.
+    """
+    # The handshake is complete when the *server* signalled HANDSHAKE_DONE.
+    finished = _outputs_with(trace, "HANDSHAKE_DONE")
+    if not finished:
+        return True  # handshake never completed; nothing to check
+    start = min(finished)
+    for i in range(start + 1, len(trace)):
+        text = str(trace.inputs[i])
+        if text.startswith("SHORT") and "HANDSHAKE_DONE]" in text:
+            # Either the violation is answered with a close now, or the
+            # connection was already closed earlier (silence is then fine).
+            closed_before = any(
+                "CONNECTION_CLOSE" in str(o) for o in trace.outputs[:i]
+            )
+            closed_after = any(
+                "CONNECTION_CLOSE" in str(o) for o in trace.outputs[i:]
+            )
+            return closed_before or closed_after
+    return True
+
+
+def single_packet_close(trace: IOTrace) -> bool:
+    """Design-decision probe: closes are single packets (Quiche style).
+
+    Google bundles closes across encryption levels, so this property holds
+    for the Quiche-like model and fails for the Google-like one -- a
+    difference, not a bug.
+    """
+    for output in trace.outputs:
+        text = str(output)
+        if "CONNECTION_CLOSE" in text and text.count("],") >= 1:
+            return False
+    return True
+
+
+STANDARD_PROPERTIES: tuple[QUICProperty, ...] = (
+    QUICProperty(
+        name="handshake-done-after-finished",
+        description="HANDSHAKE_DONE only after the client's Finished",
+        predicate=handshake_done_only_after_finished,
+    ),
+    QUICProperty(
+        name="no-flight-without-hello",
+        description="server CRYPTO flights require a ClientHello",
+        predicate=no_server_flight_without_hello,
+    ),
+    QUICProperty(
+        name="close-terminal-for-data",
+        description="no fresh stream data after CONNECTION_CLOSE",
+        predicate=close_is_terminal_for_data,
+    ),
+    QUICProperty(
+        name="client-done-draws-close",
+        description="client-sent HANDSHAKE_DONE is a protocol violation",
+        predicate=client_done_draws_close,
+    ),
+)
+
+DESIGN_PROBES: tuple[QUICProperty, ...] = (
+    QUICProperty(
+        name="single-packet-close",
+        description="closes are single packets (differs by implementation)",
+        predicate=single_packet_close,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class PropertyResult:
+    property: QUICProperty
+    violation: PropertyViolation | None
+
+    @property
+    def holds(self) -> bool:
+        return self.violation is None
+
+
+def check_quic_properties(
+    model: MealyMachine,
+    properties: Sequence[QUICProperty] = STANDARD_PROPERTIES,
+    depth: int = 5,
+) -> list[PropertyResult]:
+    """Exhaustively check each property on all model traces up to depth."""
+    results = []
+    for prop in properties:
+        violation = check_invariant(model, prop.predicate, depth)
+        results.append(PropertyResult(property=prop, violation=violation))
+    return results
+
+
+def render_results(results: Sequence[PropertyResult]) -> str:
+    lines = []
+    for result in results:
+        status = "holds" if result.holds else "VIOLATED"
+        lines.append(f"{result.property.name:<32} {status}")
+        if result.violation is not None:
+            lines.append(f"    witness: {result.violation.trace.render()[:120]}")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Trace-space statistics (paper section 6.2.2).
+
+The paper quantifies the value of a learned model by comparing the raw
+trace space against the traces the model makes it sufficient to check:
+"for the alphabet above there are 329,554,456 traces of length up to 10,
+however we only need to check 1210 and 715 of those traces".  The raw count
+is ``sum(|Sigma|^k for k=1..10)``; the model-side count is the size of a
+W-method-style test suite derived from the learned machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.mealy import MealyMachine
+from ..core.trace import count_words
+
+
+@dataclass(frozen=True)
+class TraceReduction:
+    """The headline numbers for one learned model."""
+
+    alphabet_size: int
+    max_length: int
+    total_traces: int
+    model_traces: int
+
+    @property
+    def reduction_factor(self) -> float:
+        return self.total_traces / self.model_traces if self.model_traces else 0.0
+
+    def render(self) -> str:
+        return (
+            f"alphabet={self.alphabet_size}, length<={self.max_length}: "
+            f"{self.total_traces:,} raw traces vs {self.model_traces:,} "
+            f"model traces ({self.reduction_factor:,.0f}x reduction)"
+        )
+
+
+def trace_reduction(
+    machine: MealyMachine, max_length: int = 10, extra_states: int = 0
+) -> TraceReduction:
+    """Compute the paper's reduction statistic for a learned model.
+
+    ``model_traces`` is the size of the W-method suite of the machine: the
+    set of traces sufficient to certify equivalence against any SUL with at
+    most ``num_states + extra_states`` states.  (The suite's words are not
+    limited to ``max_length``; the raw count is, exactly as in the paper.)
+    """
+    suite = machine.w_method_suite(extra_states)
+    return TraceReduction(
+        alphabet_size=len(machine.input_alphabet),
+        max_length=max_length,
+        total_traces=count_words(len(machine.input_alphabet), max_length),
+        model_traces=len(suite),
+    )

@@ -1,0 +1,84 @@
+"""Model visualization: DOT export and plain-text rendering.
+
+The appendix figures of the paper are GraphViz renderings of learned
+machines; :func:`to_dot` emits the same structure (and
+:func:`side_by_side` prints two models' transition tables next to each
+other, the textual analogue of the visual comparison that helped explain
+Issue 3 to developers).
+"""
+
+from __future__ import annotations
+
+from ..core.extended import ExtendedMealyMachine
+from ..core.mealy import MealyMachine
+
+
+def to_dot(machine: MealyMachine | ExtendedMealyMachine) -> str:
+    """GraphViz DOT text for a (possibly extended) machine."""
+    return machine.to_dot()
+
+
+def transition_table(machine: MealyMachine) -> str:
+    """A fixed-width transition table: rows = states, columns = inputs."""
+    symbols = list(machine.input_alphabet)
+    headers = ["state"] + [str(s) for s in symbols]
+    rows: list[list[str]] = []
+    for state in machine.states:
+        row = [str(state)]
+        for symbol in symbols:
+            target, output = machine.step(state, symbol)
+            row.append(f"{output} -> {target}")
+        rows.append(row)
+    widths = [
+        max(len(headers[col]), *(len(r[col]) for r in rows))
+        for col in range(len(headers))
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def side_by_side(a: MealyMachine, b: MealyMachine) -> str:
+    """Two transition tables rendered next to each other's summary.
+
+    Differing cells are marked with ``*`` so a reader can scan for the
+    divergence (states are matched by canonical BFS relabeling).
+    """
+    a_canon = a.minimize()
+    b_canon = b.minimize()
+    symbols = list(a_canon.input_alphabet)
+    lines = [f"{a.name} ({a_canon.num_states} states) vs {b.name} ({b_canon.num_states} states)"]
+    shared_states = min(a_canon.num_states, b_canon.num_states)
+    for index in range(shared_states):
+        state = f"s{index}"
+        lines.append(f"  {state}:")
+        for symbol in symbols:
+            out_a = (
+                str(a_canon.output(state, symbol))
+                if state in a_canon.states
+                else "-"
+            )
+            out_b = (
+                str(b_canon.output(state, symbol))
+                if state in b_canon.states
+                else "-"
+            )
+            marker = " " if out_a == out_b else "*"
+            lines.append(f"  {marker} {symbol}: {out_a} || {out_b}")
+    if a_canon.num_states != b_canon.num_states:
+        lines.append(
+            f"  (state counts differ: {a_canon.num_states} vs {b_canon.num_states})"
+        )
+    return "\n".join(lines)
+
+
+def summary(machine: MealyMachine) -> str:
+    """One-line summary used throughout the benchmarks."""
+    return (
+        f"{machine.name}: {machine.num_states} states, "
+        f"{machine.num_transitions} transitions"
+    )

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the framework the shape of a releasable tool:
+
+* ``learn``      -- learn a model of a built-in SUL, print/export it
+* ``compare``    -- learn two SULs and diff their models
+* ``check``      -- model-check an LTLf property against a learned model
+* ``properties`` -- run the QUIC property suite against a learned model
+* ``issues``     -- reproduce one of the paper's four findings
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+TARGETS = ("tcp", "quic-google", "quic-quiche", "quic-mvfst")
+
+
+def _learn(target: str, learner: str = "ttt"):
+    from .experiments import learn_quic, learn_tcp_full
+
+    if target == "tcp":
+        return learn_tcp_full(learner=learner)
+    implementation = target.split("-", 1)[1]
+    return learn_quic(implementation, learner=learner)
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    from .analysis.visualize import transition_table
+
+    experiment = _learn(args.target, args.learner)
+    print(experiment.report.summary())
+    if args.table:
+        print(transition_table(experiment.model))
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(experiment.model.to_dot())
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .framework import Prognosis
+
+    first = _learn(args.a)
+    second = _learn(args.b)
+    diff = Prognosis.compare(first.model, second.model)
+    print(diff.render())
+    return 0 if diff.equivalent else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    experiment = _learn(args.target)
+    violation = experiment.prognosis.check(
+        experiment.model, args.formula, depth=args.depth
+    )
+    if violation is None:
+        print(f"property holds (depth {args.depth})")
+        return 0
+    print(f"property violated: {violation.trace.render()}")
+    return 1
+
+
+def _cmd_properties(args: argparse.Namespace) -> int:
+    from .analysis.quic_properties import (
+        DESIGN_PROBES,
+        STANDARD_PROPERTIES,
+        check_quic_properties,
+        render_results,
+    )
+
+    if not args.target.startswith("quic-"):
+        print("the property suite applies to QUIC targets", file=sys.stderr)
+        return 2
+    experiment = _learn(args.target)
+    properties = STANDARD_PROPERTIES + (DESIGN_PROBES if args.probes else ())
+    results = check_quic_properties(experiment.model, properties, depth=args.depth)
+    print(render_results(results))
+    return 0 if all(r.holds for r in results if r.property.name != "single-packet-close") else 1
+
+
+def _cmd_issues(args: argparse.Namespace) -> int:
+    from .experiments import (
+        issue1_retry_divergence,
+        issue2_nondeterminism,
+        issue3_retry_port,
+        issue4_stream_data_blocked,
+    )
+
+    if args.number == 1:
+        result = issue1_retry_divergence()
+        print(result.diff.render())
+    elif args.number == 2:
+        result = issue2_nondeterminism()
+        print(f"learning aborted: {result.error}")
+        print(f"RESET rate: {result.reset_rate:.0%} (paper: ~82%)")
+    elif args.number == 3:
+        result = issue3_retry_port()
+        print(f"buggy client establishes: {result.buggy_establishes}")
+        print(f"fixed client establishes: {result.fixed_establishes}")
+    else:
+        result = issue4_stream_data_blocked()
+        print(f"buggy  max_stream_data: constant {result.buggy_constant}")
+        print(
+            "fixed  max_stream_data: "
+            + (
+                "state-dependent"
+                if result.fixed_constant is None
+                else f"constant {result.fixed_constant}"
+            )
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Prognosis: closed-box protocol model learning and analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    learn = sub.add_parser("learn", help="learn a model of a built-in SUL")
+    learn.add_argument("target", choices=TARGETS)
+    learn.add_argument("--learner", choices=("ttt", "lstar"), default="ttt")
+    learn.add_argument("--dot", help="write a GraphViz rendering to this file")
+    learn.add_argument(
+        "--table", action="store_true", help="print the transition table"
+    )
+    learn.set_defaults(func=_cmd_learn)
+
+    compare = sub.add_parser("compare", help="diff the models of two SULs")
+    compare.add_argument("a", choices=TARGETS)
+    compare.add_argument("b", choices=TARGETS)
+    compare.set_defaults(func=_cmd_compare)
+
+    check = sub.add_parser("check", help="model-check an LTLf property")
+    check.add_argument("target", choices=TARGETS)
+    check.add_argument("formula", help='e.g. "G (out != NIL)"')
+    check.add_argument("--depth", type=int, default=6)
+    check.set_defaults(func=_cmd_check)
+
+    properties = sub.add_parser("properties", help="run the QUIC property suite")
+    properties.add_argument("target", choices=TARGETS)
+    properties.add_argument("--depth", type=int, default=5)
+    properties.add_argument(
+        "--probes", action="store_true", help="include design-decision probes"
+    )
+    properties.set_defaults(func=_cmd_properties)
+
+    issues = sub.add_parser("issues", help="reproduce a paper finding")
+    issues.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    issues.set_defaults(func=_cmd_issues)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

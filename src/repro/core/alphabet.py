@@ -1,0 +1,340 @@
+"""Abstract symbols and alphabets.
+
+Prognosis distinguishes three alphabet levels (paper section 3):
+
+* the *native* alphabet -- raw bytes on the wire,
+* the *concrete* alphabet -- structured packet descriptions (JSON-like),
+* the *abstract* alphabet -- the simplified symbols the learner sees.
+
+This module implements the abstract level.  Abstract symbols render exactly
+like the paper writes them, e.g. ``SYN(?,?,0)`` for TCP or
+``INITIAL(?,?)[ACK,CRYPTO]`` for QUIC, and are hashable so they can key
+observation tables and transition maps.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+class SymbolError(ValueError):
+    """Raised when an abstract symbol cannot be parsed or validated."""
+
+
+@dataclass(frozen=True, order=True)
+class AbstractSymbol:
+    """Base class for abstract alphabet symbols.
+
+    Subclasses provide protocol-specific structure; the base class only
+    promises a stable, human-readable ``label`` used for hashing, ordering
+    and rendering.
+    """
+
+    label: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+
+@dataclass(frozen=True, order=True)
+class TCPSymbol(AbstractSymbol):
+    """A TCP abstract symbol such as ``SYN+ACK(?,?,0)``.
+
+    ``flags`` is the canonical ``+``-joined flag string (sorted so that the
+    same flag set always renders identically), and ``seq``/``ack`` are either
+    the literal ``"?"`` placeholder or a concrete integer rendered in the
+    label.  ``payload_len`` is the abstracted payload length (the paper's
+    alphabet carries 0 or 1).
+    """
+
+    flags: tuple[str, ...] = ()
+    seq: str = "?"
+    ack: str = "?"
+    payload_len: int = 0
+
+    _FLAG_ORDER = ("ACK", "SYN", "FIN", "RST", "PSH", "URG")
+
+    @classmethod
+    def make(
+        cls,
+        flags: Iterable[str],
+        seq: str | int = "?",
+        ack: str | int = "?",
+        payload_len: int = 0,
+    ) -> "TCPSymbol":
+        """Build a symbol from a flag collection, canonicalizing flag order."""
+        flag_set = {f.upper() for f in flags}
+        unknown = flag_set - set(cls._FLAG_ORDER)
+        if unknown:
+            raise SymbolError(f"unknown TCP flags: {sorted(unknown)}")
+        ordered = tuple(f for f in cls._FLAG_ORDER if f in flag_set)
+        seq_s, ack_s = str(seq), str(ack)
+        label = f"{'+'.join(ordered) or 'NIL'}({seq_s},{ack_s},{payload_len})"
+        return cls(
+            label=label, flags=ordered, seq=seq_s, ack=ack_s, payload_len=payload_len
+        )
+
+    @property
+    def is_nil(self) -> bool:
+        """True for the empty (no packet) output symbol."""
+        return not self.flags
+
+
+#: Canonical "no output" symbol for TCP models.
+TCP_NIL = TCPSymbol(label="NIL", flags=(), seq="?", ack="?", payload_len=0)
+
+_TCP_SYMBOL_RE = re.compile(
+    r"^(?P<flags>[A-Z+]+)\((?P<seq>[^,]+),(?P<ack>[^,]+),(?P<plen>\d+)\)$"
+)
+
+
+def parse_tcp_symbol(text: str) -> TCPSymbol:
+    """Parse a paper-style TCP symbol, e.g. ``ACK+PSH(?,?,1)`` or ``NIL``."""
+    text = text.strip()
+    if text == "NIL":
+        return TCP_NIL
+    match = _TCP_SYMBOL_RE.match(text)
+    if match is None:
+        raise SymbolError(f"malformed TCP symbol: {text!r}")
+    flags = match.group("flags").split("+")
+    return TCPSymbol.make(
+        flags,
+        seq=match.group("seq"),
+        ack=match.group("ack"),
+        payload_len=int(match.group("plen")),
+    )
+
+
+#: QUIC packet types (paper: "QUIC provides 7 packet types").
+QUIC_PACKET_TYPES = (
+    "INITIAL",
+    "HANDSHAKE",
+    "SHORT",
+    "ZERO_RTT",
+    "RETRY",
+    "VERSION_NEGOTIATION",
+    "STATELESS_RESET",
+)
+
+#: QUIC frame types (paper: "20 frame types", RFC 9000 section 12.4).
+QUIC_FRAME_TYPES = (
+    "PADDING",
+    "PING",
+    "ACK",
+    "RESET_STREAM",
+    "STOP_SENDING",
+    "CRYPTO",
+    "NEW_TOKEN",
+    "STREAM",
+    "MAX_DATA",
+    "MAX_STREAM_DATA",
+    "MAX_STREAMS",
+    "DATA_BLOCKED",
+    "STREAM_DATA_BLOCKED",
+    "STREAMS_BLOCKED",
+    "NEW_CONNECTION_ID",
+    "RETIRE_CONNECTION_ID",
+    "PATH_CHALLENGE",
+    "PATH_RESPONSE",
+    "CONNECTION_CLOSE",
+    "HANDSHAKE_DONE",
+)
+
+
+@dataclass(frozen=True, order=True)
+class QUICSymbol(AbstractSymbol):
+    """A QUIC abstract symbol such as ``INITIAL(?,?)[ACK,CRYPTO]``.
+
+    ``packet_type`` is one of :data:`QUIC_PACKET_TYPES`; ``frames`` is the
+    tuple of frame-type names carried by the packet, in canonical (sorted)
+    order; ``version`` and ``packet_number`` are ``"?"`` placeholders unless a
+    richer abstraction pins them to concrete values.
+    """
+
+    packet_type: str = "INITIAL"
+    frames: tuple[str, ...] = ()
+    version: str = "?"
+    packet_number: str = "?"
+
+    @classmethod
+    def make(
+        cls,
+        packet_type: str,
+        frames: Iterable[str],
+        version: str | int = "?",
+        packet_number: str | int = "?",
+    ) -> "QUICSymbol":
+        """Build a canonical symbol, validating packet and frame types."""
+        packet_type = packet_type.upper()
+        if packet_type not in QUIC_PACKET_TYPES:
+            raise SymbolError(f"unknown QUIC packet type: {packet_type!r}")
+        frame_tuple = tuple(sorted(f.upper() for f in frames))
+        unknown = set(frame_tuple) - set(QUIC_FRAME_TYPES)
+        if unknown:
+            raise SymbolError(f"unknown QUIC frame types: {sorted(unknown)}")
+        ver, pn = str(version), str(packet_number)
+        label = f"{packet_type}({ver},{pn})[{','.join(frame_tuple)}]"
+        return cls(
+            label=label,
+            packet_type=packet_type,
+            frames=frame_tuple,
+            version=ver,
+            packet_number=pn,
+        )
+
+
+_QUIC_SYMBOL_RE = re.compile(
+    r"^(?P<ptype>[A-Z_]+)\((?P<ver>[^,]+),(?P<pn>[^)]+)\)\[(?P<frames>[A-Z_,]*)\]$"
+)
+
+
+def parse_quic_symbol(text: str) -> QUICSymbol:
+    """Parse a paper-style QUIC symbol, e.g. ``SHORT(?,?)[ACK,STREAM]``."""
+    match = _QUIC_SYMBOL_RE.match(text.strip())
+    if match is None:
+        raise SymbolError(f"malformed QUIC symbol: {text!r}")
+    frames = [f for f in match.group("frames").split(",") if f]
+    return QUICSymbol.make(
+        match.group("ptype"),
+        frames,
+        version=match.group("ver"),
+        packet_number=match.group("pn"),
+    )
+
+
+@dataclass(frozen=True, order=True)
+class QUICOutput(AbstractSymbol):
+    """An abstract QUIC *output*: the multiset of packets sent in response.
+
+    The appendix models render outputs as ``{HANDSHAKE(?,?)[CRYPTO],...}``;
+    an empty response is ``{}``.  Packets are kept in canonical sorted order
+    (with multiplicity) so two equal multisets always compare equal.
+    """
+
+    packets: tuple[QUICSymbol, ...] = ()
+
+    @classmethod
+    def make(cls, packets: Iterable[QUICSymbol]) -> "QUICOutput":
+        ordered = tuple(sorted(packets))
+        label = "{" + ",".join(p.label for p in ordered) + "}"
+        return cls(label=label, packets=ordered)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.packets
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __iter__(self) -> Iterator[QUICSymbol]:
+        return iter(self.packets)
+
+    def frame_types(self) -> frozenset[str]:
+        """All frame types appearing anywhere in the response."""
+        return frozenset(f for p in self.packets for f in p.frames)
+
+
+#: Canonical empty QUIC output, rendered ``{}`` like the appendix figures.
+QUIC_EMPTY_OUTPUT = QUICOutput.make(())
+
+
+def parse_quic_output(text: str) -> QUICOutput:
+    """Parse an appendix-style output multiset such as
+    ``{HANDSHAKE(?,?)[CRYPTO],INITIAL(?,?)[ACK,CRYPTO]}``."""
+    text = text.strip()
+    if not (text.startswith("{") and text.endswith("}")):
+        raise SymbolError(f"malformed QUIC output: {text!r}")
+    body = text[1:-1].strip()
+    if not body:
+        return QUIC_EMPTY_OUTPUT
+    # Split on commas that are not inside (...) or [...] groups.
+    parts, depth, start = [], 0, 0
+    for idx, char in enumerate(body):
+        if char in "([":
+            depth += 1
+        elif char in ")]":
+            depth -= 1
+        elif char == "," and depth == 0:
+            parts.append(body[start:idx])
+            start = idx + 1
+    parts.append(body[start:])
+    return QUICOutput.make(parse_quic_symbol(part) for part in parts)
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered, indexable collection of abstract symbols."""
+
+    symbols: tuple[AbstractSymbol, ...]
+    _index: dict[AbstractSymbol, int] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if len(set(self.symbols)) != len(self.symbols):
+            raise SymbolError("alphabet contains duplicate symbols")
+        object.__setattr__(
+            self, "_index", {sym: i for i, sym in enumerate(self.symbols)}
+        )
+
+    @classmethod
+    def of(cls, symbols: Sequence[AbstractSymbol]) -> "Alphabet":
+        return cls(symbols=tuple(symbols))
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def __iter__(self) -> Iterator[AbstractSymbol]:
+        return iter(self.symbols)
+
+    def __contains__(self, symbol: object) -> bool:
+        return symbol in self._index
+
+    def __getitem__(self, index: int) -> AbstractSymbol:
+        return self.symbols[index]
+
+    def index(self, symbol: AbstractSymbol) -> int:
+        """Position of ``symbol`` in the alphabet (raises if absent)."""
+        try:
+            return self._index[symbol]
+        except KeyError:
+            raise SymbolError(f"symbol not in alphabet: {symbol}") from None
+
+
+def tcp_alphabet() -> Alphabet:
+    """The 7-symbol TCP abstract input alphabet of section 6.1."""
+    return Alphabet.of(
+        [
+            parse_tcp_symbol("SYN(?,?,0)"),
+            parse_tcp_symbol("SYN+ACK(?,?,0)"),
+            parse_tcp_symbol("ACK(?,?,0)"),
+            parse_tcp_symbol("ACK+PSH(?,?,1)"),
+            parse_tcp_symbol("FIN+ACK(?,?,0)"),
+            parse_tcp_symbol("RST(?,?,0)"),
+            parse_tcp_symbol("ACK+RST(?,?,0)"),
+        ]
+    )
+
+
+def tcp_handshake_alphabet() -> Alphabet:
+    """The 2-symbol alphabet used to learn the 3-way handshake (Fig. 3)."""
+    return Alphabet.of(
+        [parse_tcp_symbol("SYN(?,?,0)"), parse_tcp_symbol("ACK(?,?,0)")]
+    )
+
+
+def quic_alphabet() -> Alphabet:
+    """The 7-symbol QUIC abstract input alphabet of section 6.2.2."""
+    return Alphabet.of(
+        [
+            parse_quic_symbol("INITIAL(?,?)[CRYPTO]"),
+            parse_quic_symbol("INITIAL(?,?)[ACK,HANDSHAKE_DONE]"),
+            parse_quic_symbol("HANDSHAKE(?,?)[ACK,CRYPTO]"),
+            parse_quic_symbol("HANDSHAKE(?,?)[ACK,HANDSHAKE_DONE]"),
+            parse_quic_symbol("SHORT(?,?)[ACK,MAX_DATA,MAX_STREAM_DATA]"),
+            parse_quic_symbol("SHORT(?,?)[ACK,STREAM]"),
+            parse_quic_symbol("SHORT(?,?)[ACK,HANDSHAKE_DONE]"),
+        ]
+    )

@@ -1,0 +1,103 @@
+"""QUIC experiment drivers: E4 (learned models) and E5 (trace reduction).
+
+Paper targets (section 6.2.2): Google's model has 12 states and 84
+transitions (24,301 queries on the authors' setup); Quiche's has 8 states
+and 56 transitions (12,301 queries); mvfst cannot be learned
+deterministically.  The trace-space statistic: 329,554,456 traces of
+length <= 10 over the 7-symbol alphabet versus 1,210 / 715 model traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..adapter.quic_adapter import QUICAdapterSUL
+from ..analysis.statistics import TraceReduction, trace_reduction
+from ..framework import LearningReport, Prognosis
+from ..learn.nondeterminism import NondeterminismError, NondeterminismPolicy
+from ..netsim import SimulatedNetwork
+from ..quic.connection import QUICServer
+from ..quic.impls.google import google_server
+from ..quic.impls.mvfst import mvfst_server
+from ..quic.impls.quiche import quiche_server
+from ..quic.impls.tracker import TrackerConfig
+
+PAPER_GOOGLE_STATES = 12
+PAPER_GOOGLE_TRANSITIONS = 84
+PAPER_QUICHE_STATES = 8
+PAPER_QUICHE_TRANSITIONS = 56
+PAPER_GOOGLE_QUERIES = 24_301
+PAPER_QUICHE_QUERIES = 12_301
+PAPER_TOTAL_TRACES = 329_554_456
+PAPER_GOOGLE_MODEL_TRACES = 1210
+PAPER_QUICHE_MODEL_TRACES = 715
+
+SERVER_FACTORIES: dict[str, Callable[..., QUICServer]] = {
+    "google": google_server,
+    "quiche": quiche_server,
+    "mvfst": mvfst_server,
+}
+
+
+@dataclass
+class QUICExperiment:
+    prognosis: Prognosis
+    report: LearningReport
+
+    @property
+    def model(self):
+        return self.report.model
+
+
+def make_quic_sul(
+    implementation: str,
+    seed: int = 5,
+    retry_enabled: bool = False,
+    tracker_config: TrackerConfig | None = None,
+) -> QUICAdapterSUL:
+    factory = SERVER_FACTORIES[implementation]
+
+    def build(network: SimulatedNetwork) -> QUICServer:
+        return factory(network, retry_enabled=retry_enabled, seed=seed + 11)
+
+    return QUICAdapterSUL(build, seed=seed, tracker_config=tracker_config)
+
+
+def learn_quic(
+    implementation: str,
+    seed: int = 5,
+    learner: str = "ttt",
+    extra_states: int = 1,
+    retry_enabled: bool = False,
+    tracker_config: TrackerConfig | None = None,
+    nondeterminism_policy: NondeterminismPolicy | None = None,
+) -> QUICExperiment:
+    """Learn one QUIC implementation's model.
+
+    Raises :class:`NondeterminismError` for mvfst (with the default
+    policy), exactly as Prognosis's nondeterminism check does.
+    """
+    sul = make_quic_sul(
+        implementation,
+        seed=seed,
+        retry_enabled=retry_enabled,
+        tracker_config=tracker_config,
+    )
+    if nondeterminism_policy is None and implementation == "mvfst":
+        nondeterminism_policy = NondeterminismPolicy(
+            min_repeats=3, max_repeats=8, certainty=0.95
+        )
+    prognosis = Prognosis(
+        sul,
+        learner=learner,
+        extra_states=extra_states,
+        nondeterminism_policy=nondeterminism_policy,
+        name=f"quic-{implementation}",
+    )
+    return QUICExperiment(prognosis=prognosis, report=prognosis.learn())
+
+
+def quic_trace_reduction(experiment: QUICExperiment) -> TraceReduction:
+    """E5: raw trace count vs model test-suite size for one model."""
+    return trace_reduction(experiment.model, max_length=10)

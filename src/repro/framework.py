@@ -1,0 +1,228 @@
+"""The Prognosis facade: learning + synthesis + analysis in one object.
+
+This is the public API a downstream user drives (examples/ and benchmarks/
+use nothing else): construct a SUL, wrap it in :class:`Prognosis`, call
+:meth:`learn`, then hand the learned model to the analysis helpers or
+:meth:`synthesize` richer register machines from the Oracle Table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+from .adapter.sul import SUL
+from .analysis.diff import ModelDiff, diff_models
+from .analysis.ltl import parse_ltl
+from .analysis.properties import PropertyViolation, check_property
+from .analysis.statistics import TraceReduction, trace_reduction
+from .core.extended import ConcreteStep
+from .core.mealy import MealyMachine
+from .core.trace import Word
+from .learn.cache import CachedMembershipOracle
+from .learn.equivalence import (
+    ChainedEquivalenceOracle,
+    RandomWordEquivalenceOracle,
+    WMethodEquivalenceOracle,
+)
+from .learn.lstar import LearningResult, LStarLearner
+from .learn.nondeterminism import MajorityVoteOracle, NondeterminismPolicy
+from .learn.teacher import SULMembershipOracle
+from .learn.ttt import TTTLearner
+from .synth.synthesizer import SynthesisResult, synthesize, synthesize_with_cegis
+
+LearnerKind = Literal["ttt", "lstar"]
+EqKind = Literal["wmethod", "random", "random+wmethod"]
+
+
+@dataclass
+class LearningReport:
+    """Everything a benchmark or paper table needs about one learning run."""
+
+    model: MealyMachine
+    rounds: int
+    counterexamples: list[Word]
+    sul_queries: int
+    sul_steps: int
+    sul_resets: int
+    oracle_queries: int
+    cache_hit_rate: float
+
+    @property
+    def num_states(self) -> int:
+        return self.model.num_states
+
+    @property
+    def num_transitions(self) -> int:
+        return self.model.num_transitions
+
+    def summary(self) -> str:
+        return (
+            f"{self.model.name}: {self.num_states} states, "
+            f"{self.num_transitions} transitions, "
+            f"{self.sul_queries} SUL queries "
+            f"({self.oracle_queries} learner queries, "
+            f"{self.cache_hit_rate:.0%} cache hits)"
+        )
+
+
+class Prognosis:
+    """The framework: a SUL plus a configured learning pipeline."""
+
+    def __init__(
+        self,
+        sul: SUL,
+        learner: LearnerKind = "ttt",
+        equivalence: EqKind = "wmethod",
+        extra_states: int = 1,
+        use_cache: bool = True,
+        nondeterminism_policy: NondeterminismPolicy | None = None,
+        random_words: int = 300,
+        seed: int = 0,
+        name: str | None = None,
+    ) -> None:
+        self.sul = sul
+        self.name = name or sul.name
+        self.base_oracle = SULMembershipOracle(sul)
+        oracle = self.base_oracle
+        self.majority_oracle: MajorityVoteOracle | None = None
+        if nondeterminism_policy is not None:
+            self.majority_oracle = MajorityVoteOracle(oracle, nondeterminism_policy)
+            oracle = self.majority_oracle
+        self.cache_oracle: CachedMembershipOracle | None = None
+        if use_cache:
+            self.cache_oracle = CachedMembershipOracle(oracle)
+            oracle = self.cache_oracle
+        self.oracle = oracle
+
+        if equivalence == "wmethod":
+            eq = WMethodEquivalenceOracle(oracle, extra_states=extra_states)
+        elif equivalence == "random":
+            eq = RandomWordEquivalenceOracle(oracle, num_words=random_words, seed=seed)
+        else:
+            eq = ChainedEquivalenceOracle(
+                [
+                    RandomWordEquivalenceOracle(
+                        oracle, num_words=random_words, seed=seed
+                    ),
+                    WMethodEquivalenceOracle(oracle, extra_states=extra_states),
+                ]
+            )
+        self.equivalence_oracle = eq
+
+        if learner == "ttt":
+            self.learner = TTTLearner(oracle, eq, name=self.name)
+        else:
+            self.learner = LStarLearner(oracle, eq, name=self.name)
+
+    # ------------------------------------------------------------------
+    def learn(self) -> LearningReport:
+        """Run active learning to completion and package the accounting."""
+        result: LearningResult = self.learner.learn()
+        return LearningReport(
+            model=result.model,
+            rounds=result.rounds,
+            counterexamples=result.counterexamples,
+            sul_queries=self.sul.stats.queries,
+            sul_steps=self.sul.stats.steps,
+            sul_resets=self.sul.stats.resets,
+            oracle_queries=(
+                self.cache_oracle.stats.queries
+                if self.cache_oracle is not None
+                else self.base_oracle.stats.queries
+            ),
+            cache_hit_rate=(
+                self.cache_oracle.hit_rate if self.cache_oracle is not None else 0.0
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def synthesize(
+        self,
+        model: MealyMachine,
+        register_names: Sequence[str] = ("r0",),
+        cegis_words: Sequence[Word] = (),
+        max_traces: int = 60,
+        **problem_kwargs,
+    ) -> SynthesisResult | None:
+        """Synthesize an extended machine from the Oracle Table's traces.
+
+        The table can hold thousands of traces; synthesis selects the ones
+        relevant to the requested output fields (those observing at least
+        one of them), longest first, capped at ``max_traces``.
+        ``cegis_words`` optionally names extra input words to query (fresh
+        concrete traces) for counterexample-guided refinement.
+        """
+        traces = self.sul.oracle_table.concrete_traces()
+        output_fields = problem_kwargs.get("output_fields")
+        wanted = set(output_fields) if output_fields else None
+        if wanted:
+            relevant = [
+                t
+                for t in traces
+                if any(wanted & set(step.output_params) for step in t)
+            ]
+            if relevant:
+                traces = relevant
+        # Shortest traces first: they constrain the fewest unknowns per
+        # replay, so the DFS pins down the critical terms cheaply before
+        # long traces (which then mostly just validate).  Traces whose
+        # constraint signature (inputs + the observed values of the fields
+        # being synthesized) duplicates an earlier one add no information
+        # and only multiply solver work, so they are dropped.
+        def signature(trace) -> tuple:
+            return tuple(
+                (
+                    step.input_symbol,
+                    tuple(
+                        sorted(
+                            (k, v)
+                            for k, v in step.output_params.items()
+                            if wanted is None or k in wanted
+                        )
+                    ),
+                )
+                for step in trace
+            )
+
+        unique: dict[tuple, object] = {}
+        for trace in sorted(traces, key=len):
+            unique.setdefault(signature(trace), trace)
+        traces = list(unique.values())[:max_traces]
+        if not cegis_words:
+            return synthesize(
+                model, traces, register_names=register_names, **problem_kwargs
+            )
+
+        def provider(_round: int) -> list[list[ConcreteStep]]:
+            fresh: list[list[ConcreteStep]] = []
+            for word in cegis_words:
+                self.sul.query(word)
+                entry = self.sul.oracle_table.lookup(word)
+                if entry is not None:
+                    fresh.append(list(entry.steps))
+            return fresh
+
+        return synthesize_with_cegis(
+            model,
+            traces,
+            provider,
+            register_names=register_names,
+            **problem_kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    def check(
+        self, model: MealyMachine, formula: str, depth: int = 8
+    ) -> PropertyViolation | None:
+        """Check a textual LTLf property against a learned model."""
+        return check_property(model, parse_ltl(formula), depth)
+
+    def reduction(self, model: MealyMachine, max_length: int = 10) -> TraceReduction:
+        """The section 6.2.2 trace-space reduction statistic."""
+        return trace_reduction(model, max_length=max_length)
+
+    @staticmethod
+    def compare(a: MealyMachine, b: MealyMachine, max_witnesses: int = 5) -> ModelDiff:
+        """Diff two learned models (the Issue 1 / Issue 3 analysis)."""
+        return diff_models(a, b, max_witnesses=max_witnesses)

@@ -1,0 +1,60 @@
+"""The learning module: MAT oracles, caches, L*, TTT, equivalence testing."""
+
+from .cache import CacheInconsistencyError, CachedMembershipOracle, QueryCache
+from .counterexample import Decomposition, rivest_schapire
+from .equivalence import (
+    ChainedEquivalenceOracle,
+    FixedWordsEquivalenceOracle,
+    PerfectEquivalenceOracle,
+    RandomWordEquivalenceOracle,
+    WMethodEquivalenceOracle,
+)
+from .lstar import LearningResult, LStarLearner
+from .nondeterminism import (
+    MajorityVoteOracle,
+    NondeterminismError,
+    NondeterminismPolicy,
+    estimate_response_distribution,
+)
+from .observation_table import ObservationTable
+from .passive import PartialMealyMachine, rpni_mealy, seed_cache_from_traces
+from .teacher import (
+    CountingOracle,
+    EquivalenceOracle,
+    MembershipOracle,
+    OracleStats,
+    SULMembershipOracle,
+    mq_suffix,
+)
+from .ttt import DiscriminationTree, TTTLearner
+
+__all__ = [
+    "CacheInconsistencyError",
+    "CachedMembershipOracle",
+    "ChainedEquivalenceOracle",
+    "CountingOracle",
+    "Decomposition",
+    "DiscriminationTree",
+    "EquivalenceOracle",
+    "FixedWordsEquivalenceOracle",
+    "LStarLearner",
+    "LearningResult",
+    "MajorityVoteOracle",
+    "MembershipOracle",
+    "NondeterminismError",
+    "NondeterminismPolicy",
+    "ObservationTable",
+    "OracleStats",
+    "PartialMealyMachine",
+    "PerfectEquivalenceOracle",
+    "QueryCache",
+    "RandomWordEquivalenceOracle",
+    "SULMembershipOracle",
+    "TTTLearner",
+    "WMethodEquivalenceOracle",
+    "estimate_response_distribution",
+    "mq_suffix",
+    "rivest_schapire",
+    "rpni_mealy",
+    "seed_cache_from_traces",
+]

@@ -1,0 +1,105 @@
+"""A prefix-tree query cache (the Oracle-Table optimization of section 3.2).
+
+Active learners re-ask heavily overlapping queries; because a deterministic
+SUL's responses are prefix-closed, a trie of past observations answers any
+query that is a prefix of (or equal to) something already asked.  The cache
+also *detects* nondeterminism for free: a cached output conflicting with a
+fresh observation can only mean the SUL (or the abstraction) is not
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.alphabet import AbstractSymbol, Alphabet
+from ..core.trace import Word
+from .teacher import MembershipOracle, OracleStats
+
+
+class CacheInconsistencyError(Exception):
+    """A fresh observation contradicts the cache: nondeterminism."""
+
+    def __init__(self, word: Word, cached: AbstractSymbol, fresh: AbstractSymbol):
+        self.word = word
+        self.cached = cached
+        self.fresh = fresh
+        super().__init__(
+            f"nondeterministic SUL: on {word} cache says {cached}, SUL says {fresh}"
+        )
+
+
+@dataclass
+class _TrieNode:
+    children: dict = field(default_factory=dict)  # symbol -> (output, _TrieNode)
+
+
+class QueryCache:
+    """The trie itself, usable standalone (also backs the EQ oracles)."""
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self.entries = 0
+
+    def lookup(self, word: Sequence[AbstractSymbol]) -> Word | None:
+        """Cached outputs for ``word``, or None on any cache miss."""
+        node = self._root
+        outputs: list[AbstractSymbol] = []
+        for symbol in word:
+            slot = node.children.get(symbol)
+            if slot is None:
+                return None
+            output, node = slot
+            outputs.append(output)
+        return tuple(outputs)
+
+    def insert(self, word: Sequence[AbstractSymbol], outputs: Sequence[AbstractSymbol]) -> None:
+        """Store an observation; raises on conflicts with cached outputs."""
+        node = self._root
+        for symbol, output in zip(word, outputs):
+            slot = node.children.get(symbol)
+            if slot is None:
+                child = _TrieNode()
+                node.children[symbol] = (output, child)
+                node = child
+                self.entries += 1
+            else:
+                cached_output, child = slot
+                if cached_output != output:
+                    raise CacheInconsistencyError(
+                        tuple(word), cached_output, output
+                    )
+                node = child
+
+    def clear(self) -> None:
+        self._root = _TrieNode()
+        self.entries = 0
+
+
+class CachedMembershipOracle:
+    """Membership oracle layer that answers from the trie when possible."""
+
+    def __init__(self, inner: MembershipOracle) -> None:
+        self.inner = inner
+        self.input_alphabet: Alphabet = inner.input_alphabet
+        self.cache = QueryCache()
+        self.stats = OracleStats()
+        self.hits = 0
+        self.misses = 0
+
+    def query(self, word: Sequence[AbstractSymbol]) -> Word:
+        self.stats.note(word)
+        cached = self.cache.lookup(word)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        outputs = self.inner.query(word)
+        self.cache.insert(word, outputs)
+        return outputs
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,83 @@
+"""Rivest-Schapire counterexample decomposition.
+
+Instead of folding every prefix of a counterexample into the data structure
+(the classic L* move, quadratic in counterexample length), binary-search for
+the single position where the hypothesis's prediction goes wrong.  The
+result is a decomposition ``u . a . v`` such that the hypothesis state
+reached by ``u . a`` and the SUL state reached the same way disagree on the
+suffix ``v`` -- exactly the split a discrimination tree needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.alphabet import AbstractSymbol
+from ..core.mealy import MealyMachine
+from ..core.trace import Word
+from .teacher import MembershipOracle, mq_suffix
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """The split point of a counterexample."""
+
+    prefix: Word  # u
+    symbol: AbstractSymbol  # a
+    suffix: Word  # v (may be empty)
+
+
+def _suffix_matches(
+    oracle: MembershipOracle,
+    hypothesis: MealyMachine,
+    access_of: dict,
+    word: Word,
+    split: int,
+) -> bool:
+    """Does the SUL agree with the hypothesis on ``word[split:]`` when the
+    prefix ``word[:split]`` is replaced by its hypothesis access sequence?"""
+    state = hypothesis.state_after(word[:split])
+    access = access_of[state]
+    suffix = word[split:]
+    if not suffix:
+        return True
+    actual = mq_suffix(oracle, access, suffix)
+    predicted = hypothesis.run(suffix, start=state)
+    return actual == predicted
+
+
+def rivest_schapire(
+    oracle: MembershipOracle,
+    hypothesis: MealyMachine,
+    counterexample: Word,
+    access_of: dict | None = None,
+) -> Decomposition:
+    """Binary-search the flip point of a (true) counterexample.
+
+    Precondition: ``oracle.query(cex) != hypothesis.run(cex)``.  Maintains
+    ``lo`` with a failing suffix check and ``hi`` with a passing one; the
+    returned decomposition has ``prefix = cex[:lo]``, ``symbol = cex[lo]``
+    and ``suffix = cex[lo+1:]``.
+
+    ``access_of`` maps hypothesis states to access words.  Discrimination
+    -tree learners must pass the *leaf* access words here (for them the
+    states are those words); using BFS-shortest words would be unsound,
+    because a conflated hypothesis state can be reached by two words that
+    lead to *different* SUL states.
+    """
+    if access_of is None:
+        access_of = hypothesis.access_sequences()
+    lo, hi = 0, len(counterexample)
+    if _suffix_matches(oracle, hypothesis, access_of, counterexample, lo):
+        raise ValueError("not a counterexample: suffix check passes at 0")
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if _suffix_matches(oracle, hypothesis, access_of, counterexample, mid):
+            hi = mid
+        else:
+            lo = mid
+    return Decomposition(
+        prefix=counterexample[:lo],
+        symbol=counterexample[lo],
+        suffix=counterexample[lo + 1 :],
+    )

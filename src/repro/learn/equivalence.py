@@ -1,0 +1,133 @@
+"""Equivalence oracles (paper section 4.1).
+
+A perfect equivalence oracle would require omniscience of the SUL, so
+Prognosis approximates it heuristically: returned counterexamples are
+always real, but "no counterexample" only gives probabilistic confidence.
+Three strategies are provided:
+
+* :class:`RandomWordEquivalenceOracle` -- cheap randomized testing;
+* :class:`WMethodEquivalenceOracle` -- the classical Chow/Vasilevskii test
+  suite, exhaustive w.r.t. an assumed state-count bound (and the source of
+  the "traces we need to check" figures of section 6.2.2);
+* :class:`ChainedEquivalenceOracle` -- run cheap oracles first.
+
+Every counterexample is shrunk to its shortest failing prefix before being
+handed to the learner.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..core.mealy import MealyMachine
+from ..core.trace import Word
+from .teacher import MembershipOracle
+
+
+def _shrink(word: Word, actual: Word, predicted: Word) -> Word:
+    """Trim a counterexample at the first output divergence."""
+    for index, (a, p) in enumerate(zip(actual, predicted)):
+        if a != p:
+            return word[: index + 1]
+    return word
+
+
+class RandomWordEquivalenceOracle:
+    """Sample random input words and compare outputs."""
+
+    def __init__(
+        self,
+        oracle: MembershipOracle,
+        num_words: int = 300,
+        min_length: int = 2,
+        max_length: int = 12,
+        seed: int = 0,
+    ) -> None:
+        self.oracle = oracle
+        self.num_words = num_words
+        self.min_length = min_length
+        self.max_length = max_length
+        self.rng = random.Random(seed)
+
+    def find_counterexample(self, hypothesis: MealyMachine) -> Word | None:
+        symbols = list(self.oracle.input_alphabet)
+        for _ in range(self.num_words):
+            length = self.rng.randint(self.min_length, self.max_length)
+            word = tuple(self.rng.choice(symbols) for _ in range(length))
+            actual = self.oracle.query(word)
+            predicted = hypothesis.run(word)
+            if actual != predicted:
+                return _shrink(word, actual, predicted)
+        return None
+
+
+class WMethodEquivalenceOracle:
+    """The W-method: transition cover x middles x characterization set.
+
+    With ``extra_states = k`` the suite is exhaustive against any SUL whose
+    minimal machine has at most ``hypothesis.num_states + k`` states.
+    """
+
+    def __init__(self, oracle: MembershipOracle, extra_states: int = 1) -> None:
+        self.oracle = oracle
+        self.extra_states = extra_states
+        self.last_suite_size = 0
+
+    def find_counterexample(self, hypothesis: MealyMachine) -> Word | None:
+        suite = hypothesis.w_method_suite(self.extra_states)
+        self.last_suite_size = len(suite)
+        for word in suite:
+            actual = self.oracle.query(word)
+            predicted = hypothesis.run(word)
+            if actual != predicted:
+                return _shrink(word, actual, predicted)
+        return None
+
+
+class ChainedEquivalenceOracle:
+    """Try a sequence of oracles; first counterexample wins."""
+
+    def __init__(self, oracles: Sequence) -> None:
+        self.oracles = list(oracles)
+
+    def find_counterexample(self, hypothesis: MealyMachine) -> Word | None:
+        for oracle in self.oracles:
+            counterexample = oracle.find_counterexample(hypothesis)
+            if counterexample is not None:
+                return counterexample
+        return None
+
+
+class FixedWordsEquivalenceOracle:
+    """Check a fixed word list (useful in tests and regression suites)."""
+
+    def __init__(self, oracle: MembershipOracle, words: Sequence[Word]) -> None:
+        self.oracle = oracle
+        self.words = list(words)
+
+    def find_counterexample(self, hypothesis: MealyMachine) -> Word | None:
+        for word in self.words:
+            actual = self.oracle.query(word)
+            predicted = hypothesis.run(word)
+            if actual != predicted:
+                return _shrink(word, actual, predicted)
+        return None
+
+
+class PerfectEquivalenceOracle:
+    """Compare against a known reference machine (tests / ablations only).
+
+    This is the omniscient oracle the paper notes cannot exist for a real
+    SUL; we can afford it in tests because our SULs are simulations whose
+    ground-truth models we constructed.
+    """
+
+    def __init__(self, reference: MealyMachine) -> None:
+        self.reference = reference
+
+    def find_counterexample(self, hypothesis: MealyMachine) -> Word | None:
+        from ..analysis.equivalence import find_difference
+
+        difference = find_difference(self.reference, hypothesis)
+        return difference if difference is None else tuple(difference)

@@ -1,0 +1,82 @@
+"""Angluin's L* for Mealy machines.
+
+The baseline MAT learner: refine an observation table until closed and
+consistent, conjecture, ask the equivalence oracle, fold the counterexample
+back in, repeat.  Kept alongside the TTT-style learner as the ablation
+baseline (bench A1) -- it asks noticeably more membership queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.mealy import MealyMachine
+from ..core.trace import Word
+from .observation_table import ObservationTable
+from .teacher import EquivalenceOracle, MembershipOracle
+
+
+@dataclass
+class LearningResult:
+    """A learned model plus the run's accounting."""
+
+    model: MealyMachine
+    rounds: int
+    counterexamples: list[Word] = field(default_factory=list)
+
+    @property
+    def num_states(self) -> int:
+        return self.model.num_states
+
+    @property
+    def num_transitions(self) -> int:
+        return self.model.num_transitions
+
+
+class LStarLearner:
+    """Classic observation-table learner."""
+
+    def __init__(
+        self,
+        oracle: MembershipOracle,
+        equivalence_oracle: EquivalenceOracle,
+        max_rounds: int = 100,
+        name: str = "lstar",
+    ) -> None:
+        self.oracle = oracle
+        self.equivalence_oracle = equivalence_oracle
+        self.max_rounds = max_rounds
+        self.name = name
+
+    def learn(self) -> LearningResult:
+        table = ObservationTable(self.oracle.input_alphabet, self.oracle)
+        counterexamples: list[Word] = []
+        for round_number in range(1, self.max_rounds + 1):
+            self._stabilize(table)
+            hypothesis = table.to_hypothesis(name=self.name)
+            counterexample = self.equivalence_oracle.find_counterexample(hypothesis)
+            if counterexample is None:
+                return LearningResult(
+                    model=hypothesis,
+                    rounds=round_number,
+                    counterexamples=counterexamples,
+                )
+            counterexamples.append(counterexample)
+            table.add_counterexample(counterexample)
+        raise RuntimeError(
+            f"L* did not converge within {self.max_rounds} rounds"
+        )
+
+    @staticmethod
+    def _stabilize(table: ObservationTable) -> None:
+        """Make the table closed and consistent."""
+        while True:
+            unclosed = table.find_unclosed()
+            if unclosed is not None:
+                table.add_short_prefix(unclosed)
+                continue
+            new_suffix = table.find_inconsistency()
+            if new_suffix is not None:
+                table.add_suffix(new_suffix)
+                continue
+            return

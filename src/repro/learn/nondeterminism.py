@@ -1,0 +1,109 @@
+"""The nondeterminism check (paper section 5).
+
+Prognosis expects every learner query to have a deterministic answer.  Two
+things can break that: an abstraction too coarse (distinct behaviours
+collapse onto one input trace) or the implementation itself misbehaving --
+like mvfst's post-close stateless resets (Issue 2).  Environmental noise
+(latency, loss) is a third, benign source.
+
+:class:`MajorityVoteOracle` re-executes each query a configurable minimum
+number of times; if the answers disagree it keeps sampling until one answer
+reaches the required certainty or the attempt budget is exhausted, at which
+point learning pauses with a :class:`NondeterminismError` carrying the
+observed response distribution -- which is exactly the evidence the paper
+shows the developers (82% RESET / 18% silence).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.alphabet import AbstractSymbol, Alphabet
+from ..core.trace import Word
+from .teacher import MembershipOracle, OracleStats
+
+
+class NondeterminismError(Exception):
+    """Raised when a query has no sufficiently certain answer."""
+
+    def __init__(self, word: Word, observations: Counter):
+        self.word = word
+        self.observations = observations
+        total = sum(observations.values())
+        rendered = ", ".join(
+            f"{count}/{total} -> {self._render(outputs)}"
+            for outputs, count in observations.most_common()
+        )
+        super().__init__(f"nondeterministic responses for query: {rendered}")
+
+    @staticmethod
+    def _render(outputs: Word) -> str:
+        return " ".join(str(o) for o in outputs)
+
+    def frequency_of_most_common(self) -> float:
+        total = sum(self.observations.values())
+        if not total:
+            return 0.0
+        return self.observations.most_common(1)[0][1] / total
+
+
+@dataclass
+class NondeterminismPolicy:
+    """Retry budget and certainty threshold for the check."""
+
+    min_repeats: int = 1
+    max_repeats: int = 10
+    certainty: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.min_repeats < 1 or self.max_repeats < self.min_repeats:
+            raise ValueError("need 1 <= min_repeats <= max_repeats")
+        if not 0.5 < self.certainty <= 1.0:
+            raise ValueError("certainty must be in (0.5, 1.0]")
+
+
+class MajorityVoteOracle:
+    """Membership oracle enforcing deterministic answers by re-execution."""
+
+    def __init__(
+        self, inner: MembershipOracle, policy: NondeterminismPolicy | None = None
+    ) -> None:
+        self.inner = inner
+        self.input_alphabet: Alphabet = inner.input_alphabet
+        self.policy = policy or NondeterminismPolicy()
+        self.stats = OracleStats()
+        self.nondeterministic_queries = 0
+
+    def query(self, word: Sequence[AbstractSymbol]) -> Word:
+        self.stats.note(word)
+        policy = self.policy
+        observations: Counter = Counter()
+        for attempt in range(1, policy.max_repeats + 1):
+            observations[self.inner.query(word)] += 1
+            if attempt < policy.min_repeats:
+                continue
+            if len(observations) == 1:
+                return next(iter(observations))
+            top_outputs, top_count = observations.most_common(1)[0]
+            if top_count / attempt >= policy.certainty and attempt >= 3:
+                return top_outputs
+        self.nondeterministic_queries += 1
+        raise NondeterminismError(tuple(word), observations)
+
+
+def estimate_response_distribution(
+    oracle: MembershipOracle,
+    word: Sequence[AbstractSymbol],
+    samples: int,
+) -> Counter:
+    """Empirical response distribution for one query (Issue-2 analysis).
+
+    Runs the query ``samples`` times and tallies the full output words --
+    the tool used to measure mvfst's 82% RESET rate.
+    """
+    counts: Counter = Counter()
+    for _ in range(samples):
+        counts[oracle.query(word)] += 1
+    return counts

@@ -1,0 +1,117 @@
+"""The L* observation table for Mealy machines.
+
+Rows are prefixes (access words), columns are distinguishing suffixes; cell
+``(s, e)`` holds the output word the SUL produces for the ``e`` part of the
+query ``s . e``.  The table must be *closed* (every one-step extension of a
+short prefix behaves like some short prefix) and *consistent* (equal rows
+stay equal after every symbol) before a hypothesis can be conjectured.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.alphabet import AbstractSymbol, Alphabet
+from ..core.mealy import MealyMachine
+from ..core.trace import EPSILON, Word
+from .teacher import MembershipOracle, mq_suffix
+
+
+class ObservationTable:
+    """Mutable observation table driven by a membership oracle."""
+
+    def __init__(self, alphabet: Alphabet, oracle: MembershipOracle) -> None:
+        self.alphabet = alphabet
+        self.oracle = oracle
+        self.short_prefixes: list[Word] = [EPSILON]
+        self.suffixes: list[Word] = [(symbol,) for symbol in alphabet]
+        self._cells: dict[tuple[Word, Word], Word] = {}
+
+    # ------------------------------------------------------------------
+    # Cells and rows
+    # ------------------------------------------------------------------
+    def cell(self, prefix: Word, suffix: Word) -> Word:
+        key = (prefix, suffix)
+        if key not in self._cells:
+            self._cells[key] = mq_suffix(self.oracle, prefix, suffix)
+        return self._cells[key]
+
+    def row(self, prefix: Word) -> tuple[Word, ...]:
+        return tuple(self.cell(prefix, suffix) for suffix in self.suffixes)
+
+    def extended_prefixes(self) -> list[Word]:
+        return [s + (a,) for s in self.short_prefixes for a in self.alphabet]
+
+    # ------------------------------------------------------------------
+    # Closedness and consistency
+    # ------------------------------------------------------------------
+    def find_unclosed(self) -> Word | None:
+        """An extension whose row matches no short prefix, or None."""
+        short_rows = {self.row(s) for s in self.short_prefixes}
+        for extension in self.extended_prefixes():
+            if self.row(extension) not in short_rows:
+                return extension
+        return None
+
+    def find_inconsistency(self) -> Word | None:
+        """A new suffix exposing an inconsistency, or None.
+
+        If two short prefixes have equal rows but diverge after appending a
+        symbol, the distinguishing suffix (symbol + old suffix) is returned
+        so the caller can add it as a new column.
+        """
+        by_row: dict[tuple[Word, ...], list[Word]] = {}
+        for prefix in self.short_prefixes:
+            by_row.setdefault(self.row(prefix), []).append(prefix)
+        for group in by_row.values():
+            if len(group) < 2:
+                continue
+            for i, first in enumerate(group):
+                for second in group[i + 1 :]:
+                    for symbol in self.alphabet:
+                        for suffix in self.suffixes:
+                            extended = (symbol,) + suffix
+                            if self.cell(first, extended) != self.cell(
+                                second, extended
+                            ):
+                                return extended
+        return None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_short_prefix(self, prefix: Word) -> None:
+        if prefix not in self.short_prefixes:
+            self.short_prefixes.append(prefix)
+
+    def add_suffix(self, suffix: Word) -> None:
+        if suffix not in self.suffixes:
+            self.suffixes.append(suffix)
+
+    def add_counterexample(self, counterexample: Sequence[AbstractSymbol]) -> None:
+        """Classic L*: add every prefix of the counterexample as short."""
+        word = tuple(counterexample)
+        for length in range(1, len(word) + 1):
+            self.add_short_prefix(word[:length])
+
+    # ------------------------------------------------------------------
+    # Hypothesis construction
+    # ------------------------------------------------------------------
+    def to_hypothesis(self, name: str = "hypothesis") -> MealyMachine:
+        """Build the conjectured Mealy machine from a closed, consistent table."""
+        representative: dict[tuple[Word, ...], Word] = {}
+        for prefix in self.short_prefixes:
+            representative.setdefault(self.row(prefix), prefix)
+        transitions: dict[tuple[Word, AbstractSymbol], tuple[Word, AbstractSymbol]] = {}
+        for prefix in representative.values():
+            for symbol in self.alphabet:
+                extension = prefix + (symbol,)
+                target_row = self.row(extension)
+                if target_row not in representative:
+                    raise ValueError("table is not closed")
+                output = self.cell(prefix, (symbol,))[-1]
+                transitions[(prefix, symbol)] = (representative[target_row], output)
+        machine = MealyMachine(
+            representative[self.row(EPSILON)], self.alphabet, transitions, name
+        )
+        return machine.relabel()

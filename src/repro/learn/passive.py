@@ -1,0 +1,207 @@
+"""Passive model learning from logged traces (paper section 8).
+
+The paper's future-work section notes that "in cases where access to logs
+is possible ... the learning process could be sped up using a combination
+of passive and active learning".  This module provides both halves:
+
+* :func:`rpni_mealy` -- a state-merging passive learner (RPNI adapted to
+  Mealy semantics): build the prefix-tree transducer of the logged traces,
+  then greedily fold compatible states in canonical order.  The result is a
+  :class:`PartialMealyMachine` that predicts outputs for input words whose
+  behaviour the log determines.
+* :func:`seed_cache_from_traces` -- bootstrap an active learner's query
+  cache from logs, so membership queries already covered by the log never
+  reach the live SUL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.alphabet import AbstractSymbol, Alphabet
+from ..core.mealy import MealyMachine
+from ..core.trace import IOTrace, Word
+from .cache import QueryCache
+
+
+@dataclass
+class PartialMealyMachine:
+    """A possibly-incomplete Mealy machine learned from logs.
+
+    ``transitions`` maps ``(state, input)`` to ``(target, output)``;
+    missing entries mean the log never determined that behaviour.
+    """
+
+    initial_state: int
+    input_alphabet: Alphabet
+    transitions: dict[tuple[int, AbstractSymbol], tuple[int, AbstractSymbol]]
+
+    @property
+    def states(self) -> set[int]:
+        found = {self.initial_state}
+        for (source, _), (target, _) in self.transitions.items():
+            found.add(source)
+            found.add(target)
+        return found
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def predict(self, word: Sequence[AbstractSymbol]) -> Word | None:
+        """Outputs for ``word``, or None where the log is silent."""
+        state = self.initial_state
+        outputs: list[AbstractSymbol] = []
+        for symbol in word:
+            slot = self.transitions.get((state, symbol))
+            if slot is None:
+                return None
+            state, output = slot
+            outputs.append(output)
+        return tuple(outputs)
+
+    def accuracy(self, reference: MealyMachine, words: Iterable[Word]) -> float:
+        """Fraction of ``words`` predicted fully and correctly."""
+        total = 0
+        correct = 0
+        for word in words:
+            total += 1
+            predicted = self.predict(word)
+            if predicted is not None and predicted == reference.run(word):
+                correct += 1
+        return correct / total if total else 0.0
+
+    def to_complete(self, sink_output: AbstractSymbol) -> MealyMachine:
+        """An input-complete machine: missing edges loop with a sink output."""
+        transitions = dict(self.transitions)
+        for state in self.states:
+            for symbol in self.input_alphabet:
+                transitions.setdefault((state, symbol), (state, sink_output))
+        return MealyMachine(
+            self.initial_state, self.input_alphabet, transitions, "passive"
+        )
+
+
+class _PrefixTree:
+    """The prefix-tree transducer (PTT) of a trace set."""
+
+    def __init__(self) -> None:
+        self.edges: dict[int, dict[AbstractSymbol, tuple[int, AbstractSymbol]]] = {0: {}}
+        self._next_id = 1
+
+    def add(self, trace: IOTrace) -> None:
+        state = 0
+        for symbol, output in trace:
+            children = self.edges.setdefault(state, {})
+            slot = children.get(symbol)
+            if slot is None:
+                child = self._next_id
+                self._next_id += 1
+                self.edges[child] = {}
+                children[symbol] = (child, output)
+                state = child
+                continue
+            target, existing = slot
+            if existing != output:
+                raise ValueError(
+                    f"nondeterministic log: two outputs for the same prefix "
+                    f"({existing} vs {output})"
+                )
+            state = target
+
+
+class ConflictError(Exception):
+    """Raised internally when a merge would create an output conflict."""
+
+
+def rpni_mealy(
+    traces: Sequence[IOTrace], alphabet: Alphabet
+) -> PartialMealyMachine:
+    """State-merging passive learning over deterministic logged traces.
+
+    Classic RPNI folding adapted to Mealy machines: states are considered
+    in BFS order; each *blue* state is merged into the first *red* state it
+    is output-compatible with, otherwise it is promoted to red.
+    """
+    tree = _PrefixTree()
+    for trace in traces:
+        tree.add(trace)
+    edges = {state: dict(children) for state, children in tree.edges.items()}
+
+    def try_fold(
+        into: int, from_: int, snapshot: dict
+    ) -> None:
+        """Fold ``from_``'s subtree into ``into`` (mutates snapshot)."""
+        for symbol, (target, output) in list(snapshot.get(from_, {}).items()):
+            existing = snapshot.setdefault(into, {}).get(symbol)
+            if existing is None:
+                snapshot[into][symbol] = (target, output)
+                continue
+            existing_target, existing_output = existing
+            if existing_output != output:
+                raise ConflictError()
+            if existing_target != target:
+                try_fold(existing_target, target, snapshot)
+
+    def redirect(snapshot: dict, old: int, new: int) -> None:
+        for children in snapshot.values():
+            for symbol, (target, output) in list(children.items()):
+                if target == old:
+                    children[symbol] = (new, output)
+
+    red: list[int] = [0]
+    frontier = [
+        target for _, (target, _) in sorted(edges[0].items(), key=lambda kv: str(kv[0]))
+    ]
+    while frontier:
+        blue = frontier.pop(0)
+        if blue in red:
+            continue
+        merged = False
+        for candidate in red:
+            snapshot = {s: dict(c) for s, c in edges.items()}
+            redirect(snapshot, blue, candidate)
+            try:
+                try_fold(candidate, blue, snapshot)
+            except (ConflictError, RecursionError):
+                continue
+            snapshot.pop(blue, None)
+            edges = snapshot
+            merged = True
+            break
+        if not merged:
+            red.append(blue)
+        reachable_children = [
+            target
+            for state in red
+            for _, (target, _) in sorted(
+                edges.get(state, {}).items(), key=lambda kv: str(kv[0])
+            )
+            if target not in red
+        ]
+        frontier = list(dict.fromkeys(reachable_children))
+
+    transitions = {
+        (state, symbol): (target, output)
+        for state in red
+        for symbol, (target, output) in edges.get(state, {}).items()
+        if target in red or target in edges
+    }
+    return PartialMealyMachine(
+        initial_state=0, input_alphabet=alphabet, transitions=transitions
+    )
+
+
+def seed_cache_from_traces(cache: QueryCache, traces: Iterable[IOTrace]) -> int:
+    """Pre-populate an active learner's cache from logged traces.
+
+    Returns the number of traces inserted.  Conflicting logs raise the
+    cache's inconsistency error -- which is itself a finding (the log
+    witnesses nondeterminism).
+    """
+    count = 0
+    for trace in traces:
+        cache.insert(trace.inputs, trace.outputs)
+        count += 1
+    return count

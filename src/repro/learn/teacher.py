@@ -1,0 +1,87 @@
+"""The Minimally Adequate Teacher interface (paper section 4.1).
+
+Learners interact with the SUL exclusively through two oracle protocols:
+
+* a :class:`MembershipOracle` answers "what does the SUL output for this
+  input word?";
+* an :class:`EquivalenceOracle` answers "is this hypothesis correct?" with
+  either ``None`` or a counterexample input word.
+
+:class:`SULMembershipOracle` adapts a :class:`repro.adapter.sul.SUL` to the
+membership protocol and keeps the statistics the paper reports (e.g. the
+4,726 membership queries of section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from ..adapter.sul import SUL
+from ..core.alphabet import AbstractSymbol, Alphabet
+from ..core.mealy import MealyMachine
+from ..core.trace import Word
+
+
+class MembershipOracle(Protocol):
+    """Answers membership queries over abstract words."""
+
+    input_alphabet: Alphabet
+
+    def query(self, word: Sequence[AbstractSymbol]) -> Word:  # pragma: no cover
+        ...
+
+
+class EquivalenceOracle(Protocol):
+    """Searches for counterexamples to a hypothesis."""
+
+    def find_counterexample(
+        self, hypothesis: MealyMachine
+    ) -> Word | None:  # pragma: no cover
+        ...
+
+
+@dataclass
+class OracleStats:
+    """Query accounting for one oracle layer."""
+
+    queries: int = 0
+    symbols: int = 0
+
+    def note(self, word: Sequence[AbstractSymbol]) -> None:
+        self.queries += 1
+        self.symbols += len(word)
+
+
+class SULMembershipOracle:
+    """The base oracle: every query reaches the actual SUL."""
+
+    def __init__(self, sul: SUL) -> None:
+        self.sul = sul
+        self.input_alphabet = sul.input_alphabet
+        self.stats = OracleStats()
+
+    def query(self, word: Sequence[AbstractSymbol]) -> Word:
+        self.stats.note(word)
+        return self.sul.query(word)
+
+
+class CountingOracle:
+    """A transparent pass-through layer that only counts (for ablations)."""
+
+    def __init__(self, inner: MembershipOracle) -> None:
+        self.inner = inner
+        self.input_alphabet = inner.input_alphabet
+        self.stats = OracleStats()
+
+    def query(self, word: Sequence[AbstractSymbol]) -> Word:
+        self.stats.note(word)
+        return self.inner.query(word)
+
+
+def mq_suffix(
+    oracle: MembershipOracle, prefix: Word, suffix: Word
+) -> Word:
+    """Outputs for ``suffix`` after driving the SUL through ``prefix``."""
+    outputs = oracle.query(prefix + suffix)
+    return outputs[len(prefix):]

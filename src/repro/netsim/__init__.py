@@ -1,0 +1,23 @@
+"""Simulated network substrate: virtual clock + unreliable datagram link."""
+
+from .clock import VirtualClock
+from .network import (
+    Address,
+    Datagram,
+    Endpoint,
+    LinkConfig,
+    NetworkError,
+    PERFECT_LINK,
+    SimulatedNetwork,
+)
+
+__all__ = [
+    "Address",
+    "Datagram",
+    "Endpoint",
+    "LinkConfig",
+    "NetworkError",
+    "PERFECT_LINK",
+    "SimulatedNetwork",
+    "VirtualClock",
+]

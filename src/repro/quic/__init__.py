@@ -1,0 +1,44 @@
+"""QUIC substrate: wire codecs, crypto, flow control, servers and client."""
+
+from .behavior import (
+    ALL_INPUTS,
+    BehaviorCore,
+    BehaviorTable,
+    google_table,
+    input_key,
+    mvfst_table,
+    quiche_table,
+)
+from .connection import QUICServer, QUICServerConnection, ServerProfile
+from .crypto import CryptoError
+from .frames import Frame, FrameError, decode_frames, encode_frames, frame_kinds
+from .packet import PacketError, PacketHeader, PacketType, decode_packet, encode_packet
+from .varint import Buffer, VarintError, decode_varint, encode_varint
+
+__all__ = [
+    "ALL_INPUTS",
+    "BehaviorCore",
+    "BehaviorTable",
+    "Buffer",
+    "CryptoError",
+    "Frame",
+    "FrameError",
+    "PacketError",
+    "PacketHeader",
+    "PacketType",
+    "QUICServer",
+    "QUICServerConnection",
+    "ServerProfile",
+    "VarintError",
+    "decode_frames",
+    "decode_packet",
+    "decode_varint",
+    "encode_frames",
+    "encode_packet",
+    "encode_varint",
+    "frame_kinds",
+    "google_table",
+    "input_key",
+    "mvfst_table",
+    "quiche_table",
+]

@@ -1,0 +1,15 @@
+"""Simulated QUIC implementations: the three SULs plus the reference client."""
+
+from .google import google_server
+from .mvfst import mvfst_server
+from .quiche import quiche_server
+from .tracker import ConcretePacket, TrackerClient, TrackerConfig
+
+__all__ = [
+    "ConcretePacket",
+    "TrackerClient",
+    "TrackerConfig",
+    "google_server",
+    "mvfst_server",
+    "quiche_server",
+]

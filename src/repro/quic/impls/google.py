@@ -1,0 +1,44 @@
+"""The Google-QUIC-like server implementation.
+
+Profile highlights (paper sections 6.2.2, 6.2.6):
+
+* 12-state behaviour core (appendix A.2 reconstruction) including 0.5-RTT
+  server push in the first flight;
+* **Issue 4 bug**: ``STREAM_DATA_BLOCKED.maximum_stream_data`` is always 0
+  -- a development placeholder the developers forgot to replace;
+* **Issue 1**: strict about post-RETRY packet-number-space resets -- the
+  server aborts the connection (the behaviour the RFC clarification made
+  explicitly permissible).
+"""
+
+from __future__ import annotations
+
+from ...netsim import SimulatedNetwork
+from ..behavior import google_table
+from ..connection import QUICServer, ServerProfile
+
+
+def google_profile(retry_enabled: bool = False) -> ServerProfile:
+    return ServerProfile(
+        name="google",
+        table_factory=google_table,
+        sdb_reports_zero=True,
+        retry_enabled=retry_enabled,
+    )
+
+
+def google_server(
+    network: SimulatedNetwork,
+    host: str = "server",
+    port: int = 4433,
+    seed: int = 17,
+    retry_enabled: bool = False,
+) -> QUICServer:
+    """Bind a Google-like server to the simulated network."""
+    return QUICServer(
+        network,
+        google_profile(retry_enabled=retry_enabled),
+        host=host,
+        port=port,
+        seed=seed,
+    )

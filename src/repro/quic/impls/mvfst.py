@@ -1,0 +1,53 @@
+"""The Facebook-mvfst-like server implementation.
+
+Profile highlights (paper section 6.2.4, Issue 2):
+
+* Quiche-shaped behaviour core, but after the connection closes the server
+  answers subsequent packets with a stateless RESET only with probability
+  ~0.82 (and silence otherwise), with **no back-off** -- the confirmed
+  nondeterminism/DoS bug.  Deterministic model learning aborts on this
+  implementation, exactly as the paper reports.
+"""
+
+from __future__ import annotations
+
+from ...netsim import SimulatedNetwork
+from ..behavior import mvfst_table
+from ..connection import QUICServer, ServerProfile
+
+#: The empirical reset rate the paper measured ("only in 82% of the
+#: responses ... a RESET").
+MVFST_RESET_PROBABILITY = 0.82
+
+
+def mvfst_profile(
+    retry_enabled: bool = False,
+    reset_probability: float = MVFST_RESET_PROBABILITY,
+) -> ServerProfile:
+    return ServerProfile(
+        name="mvfst",
+        table_factory=mvfst_table,
+        sdb_reports_zero=False,
+        retry_enabled=retry_enabled,
+        stateless_reset_probability=reset_probability,
+    )
+
+
+def mvfst_server(
+    network: SimulatedNetwork,
+    host: str = "server",
+    port: int = 4433,
+    seed: int = 17,
+    retry_enabled: bool = False,
+    reset_probability: float = MVFST_RESET_PROBABILITY,
+) -> QUICServer:
+    """Bind an mvfst-like server to the simulated network."""
+    return QUICServer(
+        network,
+        mvfst_profile(
+            retry_enabled=retry_enabled, reset_probability=reset_probability
+        ),
+        host=host,
+        port=port,
+        seed=seed,
+    )

@@ -1,0 +1,44 @@
+"""The Cloudflare-Quiche-like server implementation.
+
+Profile highlights (paper section 6.2.2):
+
+* 8-state behaviour core (appendix A.3 reconstruction): no 0.5-RTT push,
+  handshake keys dropped after the first 1-RTT exchange (late
+  handshake-space packets are then ignored rather than answered with a
+  close);
+* correct ``STREAM_DATA_BLOCKED`` values (real blocked offsets);
+* **Issue 1**: lenient about post-RETRY packet-number-space resets -- the
+  handshake simply continues.
+"""
+
+from __future__ import annotations
+
+from ...netsim import SimulatedNetwork
+from ..behavior import quiche_table
+from ..connection import QUICServer, ServerProfile
+
+
+def quiche_profile(retry_enabled: bool = False) -> ServerProfile:
+    return ServerProfile(
+        name="quiche",
+        table_factory=quiche_table,
+        sdb_reports_zero=False,
+        retry_enabled=retry_enabled,
+    )
+
+
+def quiche_server(
+    network: SimulatedNetwork,
+    host: str = "server",
+    port: int = 4433,
+    seed: int = 17,
+    retry_enabled: bool = False,
+) -> QUICServer:
+    """Bind a Quiche-like server to the simulated network."""
+    return QUICServer(
+        network,
+        quiche_profile(retry_enabled=retry_enabled),
+        host=host,
+        port=port,
+        seed=seed,
+    )

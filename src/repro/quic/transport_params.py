@@ -1,0 +1,113 @@
+"""QUIC transport parameters (RFC 9000 section 18).
+
+Transport parameters ride inside the simulated ClientHello/ServerHello and
+negotiate flow-control limits.  Only the parameters the implementations
+actually consult are modelled, but the codec accepts and preserves unknown
+ids (as required by the RFC's extension rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .varint import Buffer, VarintError
+
+PARAM_MAX_IDLE_TIMEOUT = 0x01
+PARAM_INITIAL_MAX_DATA = 0x04
+PARAM_INITIAL_MAX_STREAM_DATA_BIDI_LOCAL = 0x05
+PARAM_INITIAL_MAX_STREAM_DATA_BIDI_REMOTE = 0x06
+PARAM_INITIAL_MAX_STREAMS_BIDI = 0x08
+PARAM_ORIGINAL_DCID = 0x00
+PARAM_RETRY_SOURCE_CID = 0x10
+
+
+class TransportParameterError(ValueError):
+    """Raised on malformed transport-parameter encodings."""
+
+
+@dataclass
+class TransportParameters:
+    """The negotiated limits one endpoint advertises to its peer."""
+
+    max_idle_timeout: int = 30_000
+    initial_max_data: int = 10_000
+    initial_max_stream_data_bidi_local: int = 100
+    initial_max_stream_data_bidi_remote: int = 100
+    initial_max_streams_bidi: int = 8
+    original_dcid: bytes = b""
+    retry_source_cid: bytes | None = None
+    unknown: dict[int, bytes] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        buf = Buffer()
+
+        def put_varint_param(param_id: int, value: int) -> None:
+            buf.push_varint(param_id)
+            inner = Buffer()
+            inner.push_varint(value)
+            buf.push_varint_bytes(inner.getvalue())
+
+        def put_bytes_param(param_id: int, value: bytes) -> None:
+            buf.push_varint(param_id)
+            buf.push_varint_bytes(value)
+
+        put_varint_param(PARAM_MAX_IDLE_TIMEOUT, self.max_idle_timeout)
+        put_varint_param(PARAM_INITIAL_MAX_DATA, self.initial_max_data)
+        put_varint_param(
+            PARAM_INITIAL_MAX_STREAM_DATA_BIDI_LOCAL,
+            self.initial_max_stream_data_bidi_local,
+        )
+        put_varint_param(
+            PARAM_INITIAL_MAX_STREAM_DATA_BIDI_REMOTE,
+            self.initial_max_stream_data_bidi_remote,
+        )
+        put_varint_param(
+            PARAM_INITIAL_MAX_STREAMS_BIDI, self.initial_max_streams_bidi
+        )
+        if self.original_dcid:
+            put_bytes_param(PARAM_ORIGINAL_DCID, self.original_dcid)
+        if self.retry_source_cid is not None:
+            put_bytes_param(PARAM_RETRY_SOURCE_CID, self.retry_source_cid)
+        for param_id, value in sorted(self.unknown.items()):
+            put_bytes_param(param_id, value)
+        return buf.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TransportParameters":
+        params = cls()
+        buf = Buffer(data)
+        try:
+            while not buf.eof:
+                param_id = buf.pull_varint()
+                value = buf.pull_varint_bytes()
+                params._apply(param_id, value)
+        except VarintError as exc:
+            raise TransportParameterError(f"truncated parameters: {exc}") from exc
+        return params
+
+    def _apply(self, param_id: int, value: bytes) -> None:
+        def as_varint() -> int:
+            inner = Buffer(value)
+            result = inner.pull_varint()
+            if not inner.eof:
+                raise TransportParameterError(
+                    f"trailing bytes in parameter {param_id:#x}"
+                )
+            return result
+
+        if param_id == PARAM_MAX_IDLE_TIMEOUT:
+            self.max_idle_timeout = as_varint()
+        elif param_id == PARAM_INITIAL_MAX_DATA:
+            self.initial_max_data = as_varint()
+        elif param_id == PARAM_INITIAL_MAX_STREAM_DATA_BIDI_LOCAL:
+            self.initial_max_stream_data_bidi_local = as_varint()
+        elif param_id == PARAM_INITIAL_MAX_STREAM_DATA_BIDI_REMOTE:
+            self.initial_max_stream_data_bidi_remote = as_varint()
+        elif param_id == PARAM_INITIAL_MAX_STREAMS_BIDI:
+            self.initial_max_streams_bidi = as_varint()
+        elif param_id == PARAM_ORIGINAL_DCID:
+            self.original_dcid = value
+        elif param_id == PARAM_RETRY_SOURCE_CID:
+            self.retry_source_cid = value
+        else:
+            self.unknown[param_id] = value

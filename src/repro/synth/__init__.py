@@ -1,0 +1,41 @@
+"""Synthesis module: term grammar, constraints, solver, CEGIS driver."""
+
+from .constraints import SynthesisProblem, Unknown, build_problem
+from .solver import Assignment, SolverStats, TraceSolver
+from .synthesizer import (
+    SynthesisResult,
+    assignment_to_machine,
+    synthesize,
+    synthesize_with_cegis,
+)
+from .terms import (
+    ConstTerm,
+    InputTerm,
+    PlusOne,
+    RegisterTerm,
+    Term,
+    candidate_terms,
+    mine_constants,
+    term_complexity,
+)
+
+__all__ = [
+    "Assignment",
+    "ConstTerm",
+    "InputTerm",
+    "PlusOne",
+    "RegisterTerm",
+    "SolverStats",
+    "SynthesisProblem",
+    "SynthesisResult",
+    "Term",
+    "TraceSolver",
+    "Unknown",
+    "assignment_to_machine",
+    "build_problem",
+    "candidate_terms",
+    "mine_constants",
+    "synthesize",
+    "synthesize_with_cegis",
+    "term_complexity",
+]

@@ -1,0 +1,147 @@
+"""Synthesis problem formulation (paper section 4.3).
+
+A :class:`SynthesisProblem` is the "sketch": the learned Mealy skeleton,
+the register vector, and -- for every transition -- one unknown per
+register update and one unknown per output parameter, each with its finite
+candidate-term menu.  Concrete traces from the Oracle Table become the
+constraints: replaying a trace through the skeleton pins down which
+unknowns fire at which step, and every observed output parameter must
+match the chosen output term's value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.extended import ConcreteStep
+from ..core.mealy import MealyMachine, State
+from ..core.alphabet import AbstractSymbol
+from .terms import ConstTerm, RegisterTerm, Term, candidate_terms, mine_constants
+
+TransitionKey = tuple[State, AbstractSymbol]
+
+
+@dataclass(frozen=True)
+class Unknown:
+    """One hole in the sketch.
+
+    ``kind`` is ``"update"`` (register update on a transition, evaluated
+    over previous registers + inputs), ``"output"`` (output parameter,
+    evaluated over updated registers + inputs), or ``"initial"`` (the
+    register's value before any input; transition is a placeholder).
+    """
+
+    transition: TransitionKey
+    kind: str
+    name: str  # register name for updates/initials, parameter for outputs
+
+    def render(self) -> str:
+        if self.kind == "initial":
+            return f"initial:{self.name}"
+        state, symbol = self.transition
+        return f"{self.kind}:{self.name}@({state},{symbol})"
+
+
+#: Placeholder transition key for initial-register unknowns.
+INITIAL_KEY: TransitionKey = ("__initial__", None)
+
+
+@dataclass
+class SynthesisProblem:
+    """The sketch plus candidate menus for every unknown."""
+
+    skeleton: MealyMachine
+    register_names: tuple[str, ...]
+    input_fields: tuple[str, ...]
+    output_fields: tuple[str, ...]
+    initial_registers: dict[str, int]
+    candidates: dict[Unknown, tuple[Term, ...]] = field(default_factory=dict)
+
+    def unknowns(self) -> list[Unknown]:
+        return list(self.candidates)
+
+    def search_space(self) -> int:
+        """Total assignments -- the size Z3 would explore symbolically."""
+        size = 1
+        for menu in self.candidates.values():
+            size *= max(1, len(menu))
+        return size
+
+
+def build_problem(
+    skeleton: MealyMachine,
+    traces: Sequence[Sequence[ConcreteStep]],
+    register_names: Sequence[str] = ("r0",),
+    input_fields: Sequence[str] | None = None,
+    output_fields: Sequence[str] | None = None,
+    initial_registers: dict[str, int] | None = None,
+    allow_increment: bool = True,
+    extra_constants: Sequence[int] = (),
+    search_initial_registers: bool = True,
+) -> SynthesisProblem:
+    """Assemble the sketch from a learned machine and oracle-table traces.
+
+    Input/output fields default to every parameter name observed anywhere
+    in the traces.  Unknowns are only created for transitions actually
+    exercised by some trace (unvisited transitions would be unconstrained;
+    they keep implicit "hold" semantics).
+    """
+    observed_inputs: set[str] = set()
+    observed_outputs: set[str] = set()
+    visited: set[TransitionKey] = set()
+    output_at: dict[TransitionKey, set[str]] = {}
+    for steps in traces:
+        state = skeleton.initial_state
+        for step in steps:
+            key = (state, step.input_symbol)
+            visited.add(key)
+            observed_inputs.update(step.input_params)
+            observed_outputs.update(step.output_params)
+            output_at.setdefault(key, set()).update(step.output_params)
+            state, _ = skeleton.step(state, step.input_symbol)
+    in_fields = tuple(sorted(input_fields or observed_inputs))
+    out_fields = tuple(sorted(output_fields or observed_outputs))
+    constants = list(extra_constants) + mine_constants(traces, out_fields)
+
+    problem = SynthesisProblem(
+        skeleton=skeleton,
+        register_names=tuple(register_names),
+        input_fields=in_fields,
+        output_fields=out_fields,
+        initial_registers=dict(initial_registers or {r: 0 for r in register_names}),
+    )
+    update_menu = candidate_terms(
+        problem.register_names, in_fields, constants=(0,), allow_increment=allow_increment
+    )
+    output_menu = candidate_terms(
+        problem.register_names, in_fields, constants=constants, allow_increment=allow_increment
+    )
+    def menu_for(register: str) -> tuple:
+        # Each register tries its own "hold" term first, so inert registers
+        # default to no-ops instead of spurious cross-register copies --
+        # a large constant-factor win for the DFS.
+        hold = RegisterTerm(register)
+        rest = [t for t in update_menu if t != hold]
+        return (hold, *rest)
+
+    for key in sorted(visited, key=str):
+        for register in problem.register_names:
+            problem.candidates[Unknown(key, "update", register)] = menu_for(register)
+        for parameter in sorted(output_at.get(key, ())):
+            if parameter in out_fields:
+                problem.candidates[Unknown(key, "output", parameter)] = output_menu
+    if search_initial_registers and initial_registers is None:
+        # Initial register values are themselves unknowns drawn from the
+        # mined constants (the paper's r[0] variables).  Frequency order
+        # matters: the most-observed constant is usually the initial value
+        # (e.g. the initial flow-control limit), and trying it first keeps
+        # the chronologically backtracking DFS out of exponential corners.
+        initial_menu = tuple(
+            ConstTerm(value) for value in dict.fromkeys([*constants, 0])
+        )
+        for register in problem.register_names:
+            problem.candidates[Unknown(INITIAL_KEY, "initial", register)] = (
+                initial_menu
+            )
+    return problem

@@ -1,0 +1,332 @@
+"""A finite-domain constraint solver: the offline stand-in for Z3.
+
+The constraint system of paper section 4.3 is a finite choice per unknown
+(``0 <= E_u <= 7``) plus implications equating register/output values along
+each trace.  Because every domain is finite and constraints only fire on
+the trace path that touches them, depth-first search with *lazy branching*
+decides the system exactly:
+
+* traces are replayed step by step; register values are concrete under the
+  current partial assignment;
+* the first time a step needs an unassigned unknown, we branch over its
+  candidate menu (simplest terms first);
+* any violated output constraint prunes the whole subtree immediately.
+
+Negative examples (traces the machine must *not* reproduce, used when
+random testing refutes a synthesized machine) are checked at the end of
+each complete assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.extended import ConcreteStep
+from ..core.mealy import State
+from .constraints import INITIAL_KEY, SynthesisProblem, Unknown
+from .terms import ConstTerm, InputTerm, PlusOne, RegisterTerm, Term
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The DFS hit its branch budget (usually: proving UNSAT is too big)."""
+
+
+#: Sentinel: an output term that can never produce the observed value here.
+_INFEASIBLE = object()
+
+
+def _register_requirement(
+    term: Term, observed: int, inputs
+) -> tuple[str, int] | None | object:
+    """What an output-term choice implies.
+
+    Returns ``(register, required_post_update_value)`` for register-valued
+    terms, ``None`` for input/constant terms that already match the observed
+    value, and :data:`_INFEASIBLE` for terms that cannot match.
+    """
+    if isinstance(term, RegisterTerm):
+        return term.register, observed
+    if isinstance(term, PlusOne) and isinstance(term.base, RegisterTerm):
+        return term.base.register, observed - 1
+    if isinstance(term, InputTerm):
+        value = inputs.get(term.field)
+        return None if value == observed else _INFEASIBLE
+    if isinstance(term, PlusOne) and isinstance(term.base, InputTerm):
+        value = inputs.get(term.base.field)
+        return None if value is not None and value + 1 == observed else _INFEASIBLE
+    if isinstance(term, ConstTerm):
+        return None if term.value == observed else _INFEASIBLE
+    return _INFEASIBLE
+
+Assignment = dict[Unknown, Term]
+
+
+@dataclass
+class SolverStats:
+    branches: int = 0
+    conflicts: int = 0
+    solutions_checked: int = 0
+
+
+class TraceSolver:
+    """DFS with lazy branching over the unknowns of a synthesis problem."""
+
+    def __init__(
+        self,
+        problem: SynthesisProblem,
+        positive_traces: Sequence[Sequence[ConcreteStep]],
+        negative_traces: Sequence[Sequence[ConcreteStep]] = (),
+        max_branches: int = 2_000_000,
+    ) -> None:
+        self.problem = problem
+        self.positive = [list(t) for t in positive_traces]
+        self.negative = [list(t) for t in negative_traces]
+        self.max_branches = max_branches
+        self.stats = SolverStats()
+
+    # ------------------------------------------------------------------
+    def solve(self) -> Assignment | None:
+        """The first consistent assignment, or None if unsatisfiable.
+
+        The DFS chains recursion across every step of every trace, so the
+        recursion limit is raised to cover the whole constraint path.
+        """
+        import sys
+
+        total_steps = sum(len(t) for t in self.positive)
+        needed = total_steps * 8 + len(self.positive) * 4 + 2000
+        previous_limit = sys.getrecursionlimit()
+        if needed > previous_limit:
+            sys.setrecursionlimit(needed)
+        try:
+            return self._solve_traces({}, 0)
+        finally:
+            sys.setrecursionlimit(previous_limit)
+
+    # ------------------------------------------------------------------
+    def _solve_traces(self, assignment: Assignment, index: int) -> Assignment | None:
+        if index == len(self.positive):
+            self.stats.solutions_checked += 1
+            if all(not self._reproduces(assignment, t) for t in self.negative):
+                return assignment
+            self.stats.conflicts += 1
+            return None
+        trace = self.positive[index]
+
+        def start(with_assignment: Assignment) -> Assignment | None:
+            registers = self._initial_registers(with_assignment)
+            return self._run_steps(
+                with_assignment,
+                index,
+                trace,
+                0,
+                self.problem.skeleton.initial_state,
+                registers,
+            )
+
+        return self._assign_initials(assignment, start)
+
+    def _initial_unknowns(self) -> list[Unknown]:
+        return [
+            Unknown(INITIAL_KEY, "initial", register)
+            for register in self.problem.register_names
+            if Unknown(INITIAL_KEY, "initial", register) in self.problem.candidates
+        ]
+
+    def _initial_registers(self, assignment: Assignment) -> dict[str, int]:
+        registers = dict(self.problem.initial_registers)
+        for unknown in self._initial_unknowns():
+            term = assignment.get(unknown)
+            if term is not None:
+                registers[unknown.name] = term.evaluate({}, {})
+        return registers
+
+    def _assign_initials(self, assignment: Assignment, cont) -> Assignment | None:
+        """Branch over any still-unassigned initial-register unknowns."""
+        pending = [u for u in self._initial_unknowns() if u not in assignment]
+
+        def recurse(i: int) -> Assignment | None:
+            if i == len(pending):
+                return cont(assignment)
+            unknown = pending[i]
+            for term in self.problem.candidates[unknown]:
+                self.stats.branches += 1
+                if self.stats.branches > self.max_branches:
+                    raise SearchBudgetExceeded(
+                        f"synthesis search budget exhausted "
+                        f"({self.max_branches} branches)"
+                    )
+                assignment[unknown] = term
+                result = recurse(i + 1)
+                if result is not None:
+                    return result
+                del assignment[unknown]
+            self.stats.conflicts += 1
+            return None
+
+        return recurse(0)
+
+    def _run_steps(
+        self,
+        assignment: Assignment,
+        trace_index: int,
+        steps: list[ConcreteStep],
+        position: int,
+        state: State,
+        registers: dict[str, int],
+    ) -> Assignment | None:
+        if position == len(steps):
+            return self._solve_traces(assignment, trace_index + 1)
+        step = steps[position]
+        key = (state, step.input_symbol)
+
+        # Gather the unknowns this step consults, in evaluation order.
+        update_unknowns = [
+            Unknown(key, "update", register)
+            for register in self.problem.register_names
+            if Unknown(key, "update", register) in self.problem.candidates
+        ]
+        output_unknowns = [
+            Unknown(key, "output", parameter)
+            for parameter in step.output_params
+            if Unknown(key, "output", parameter) in self.problem.candidates
+        ]
+
+        inputs = step.input_params
+
+        def budget() -> None:
+            self.stats.branches += 1
+            if self.stats.branches > self.max_branches:
+                raise SearchBudgetExceeded(
+                    f"synthesis search budget exhausted "
+                    f"({self.max_branches} branches)"
+                )
+
+        # Goal-directed search: output terms are chosen FIRST.  A register
+        # -valued output term fixes the post-update value that register must
+        # take ("requirements"), which then filters the update candidates --
+        # without this propagation, unconstrained update unknowns make the
+        # DFS thrash (chronological backtracking over irrelevant choices).
+        def choose_outputs(
+            i: int, requirements: dict[str, int]
+        ) -> Assignment | None:
+            if i == len(output_unknowns):
+                return choose_updates(0, requirements, {})
+            unknown = output_unknowns[i]
+            observed = step.output_params[unknown.name]
+            preassigned = unknown in assignment
+            terms = (
+                [assignment[unknown]]
+                if preassigned
+                else self.problem.candidates[unknown]
+            )
+            for term in terms:
+                budget()
+                requirement = _register_requirement(term, observed, inputs)
+                if requirement is _INFEASIBLE:
+                    continue
+                added: str | None = None
+                if requirement is not None:
+                    register, value = requirement
+                    if requirements.get(register, value) != value:
+                        continue
+                    if register not in requirements:
+                        requirements[register] = value
+                        added = register
+                if not preassigned:
+                    assignment[unknown] = term
+                result = choose_outputs(i + 1, requirements)
+                if result is not None:
+                    return result
+                if not preassigned:
+                    del assignment[unknown]
+                if added is not None:
+                    del requirements[added]
+            self.stats.conflicts += 1
+            return None
+
+        def choose_updates(
+            j: int, requirements: dict[str, int], chosen: dict[str, int]
+        ) -> Assignment | None:
+            if j == len(update_unknowns):
+                updated = dict(registers)
+                updated.update(chosen)
+                # Requirements on registers without an update unknown must
+                # be met by the carried-over value.
+                for register, value in requirements.items():
+                    if updated.get(register) != value:
+                        self.stats.conflicts += 1
+                        return None
+                next_state, _ = self.problem.skeleton.step(
+                    state, step.input_symbol
+                )
+                return self._run_steps(
+                    assignment, trace_index, steps, position + 1, next_state, updated
+                )
+            unknown = update_unknowns[j]
+            register = unknown.name
+            required = requirements.get(register)
+            if unknown in assignment:
+                try:
+                    value = assignment[unknown].evaluate(registers, inputs)
+                except KeyError:
+                    self.stats.conflicts += 1
+                    return None
+                if required is not None and value != required:
+                    self.stats.conflicts += 1
+                    return None
+                chosen[register] = value
+                result = choose_updates(j + 1, requirements, chosen)
+                if result is None:
+                    del chosen[register]
+                return result
+            for term in self.problem.candidates[unknown]:
+                budget()
+                try:
+                    value = term.evaluate(registers, inputs)
+                except KeyError:
+                    continue
+                if required is not None and value != required:
+                    continue
+                assignment[unknown] = term
+                chosen[register] = value
+                result = choose_updates(j + 1, requirements, chosen)
+                if result is not None:
+                    return result
+                del assignment[unknown]
+                del chosen[register]
+            self.stats.conflicts += 1
+            return None
+
+        return choose_outputs(0, {})
+
+    # ------------------------------------------------------------------
+    def _reproduces(self, assignment: Assignment, steps: list[ConcreteStep]) -> bool:
+        """Does the assignment's machine reproduce a (negative) trace?"""
+        registers = dict(self.problem.initial_registers)
+        state = self.problem.skeleton.initial_state
+        for step in steps:
+            key = (state, step.input_symbol)
+            updated = dict(registers)
+            for register in self.problem.register_names:
+                unknown = Unknown(key, "update", register)
+                term = assignment.get(unknown)
+                if term is not None:
+                    try:
+                        updated[register] = term.evaluate(registers, step.input_params)
+                    except KeyError:
+                        return False
+            for parameter, observed in step.output_params.items():
+                unknown = Unknown(key, "output", parameter)
+                term = assignment.get(unknown)
+                if term is None:
+                    continue
+                try:
+                    if term.evaluate(updated, step.input_params) != observed:
+                        return False
+                except KeyError:
+                    return False
+            registers = updated
+            state, _ = self.problem.skeleton.step(state, step.input_symbol)
+        return True

@@ -1,0 +1,188 @@
+"""High-level synthesis driver (paper section 4.3).
+
+Given a learned Mealy skeleton and the Oracle Table's concrete traces,
+build the sketch, solve it, and assemble an
+:class:`~repro.core.extended.ExtendedMealyMachine`.  A CEGIS loop covers
+the paper's refinement story: synthesized machines are validated against
+additional traces (random equivalence testing); mismatching traces join
+the constraint set and the solver restarts.
+
+The module also hosts the Issue-4 analysis: detecting that a supposedly
+variable output parameter is in fact a constant (Google's
+``STREAM_DATA_BLOCKED.maximum_stream_data == 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.extended import (
+    ConcreteStep,
+    ExtendedMealyMachine,
+    TransitionAnnotation,
+)
+from ..core.mealy import MealyMachine
+from .constraints import INITIAL_KEY, SynthesisProblem, Unknown, build_problem
+from .solver import Assignment, SearchBudgetExceeded, SolverStats, TraceSolver
+from .terms import ConstTerm, RegisterTerm, Term
+
+
+@dataclass
+class SynthesisResult:
+    """A synthesized machine plus the run's accounting."""
+
+    machine: ExtendedMealyMachine
+    problem: SynthesisProblem
+    assignment: Assignment
+    stats: SolverStats
+    training_traces: list = field(default_factory=list)
+    rounds: int = 1
+
+    def output_terms(self, parameter: str) -> dict[tuple, Term]:
+        """The synthesized term for ``parameter`` on each transition."""
+        return {
+            unknown.transition: term
+            for unknown, term in self.assignment.items()
+            if unknown.kind == "output" and unknown.name == parameter
+        }
+
+    def constant_output(self, parameter: str) -> int | None:
+        """If the synthesized machine emits a single value for
+        ``parameter`` everywhere, return it -- the Issue-4 detector.
+
+        The check is *semantic*: the machine is executed over the training
+        traces and the predicted values for the parameter are collected.
+        (A syntactically non-constant term such as a never-updated register
+        still counts -- the paper's observation is precisely that the field
+        "always has the value 0, and is never updated".)
+        """
+        terms = self.output_terms(parameter)
+        if not terms:
+            return None
+        if self.training_traces:
+            values: set[int] = set()
+            for steps in self.training_traces:
+                try:
+                    predictions = self.machine.execute(list(steps))
+                except KeyError:
+                    continue
+                for step, predicted in zip(steps, predictions):
+                    if parameter in step.output_params and parameter in predicted:
+                        values.add(predicted[parameter])
+            return values.pop() if len(values) == 1 else None
+        constants = set()
+        for term in terms.values():
+            if not isinstance(term, ConstTerm):
+                return None
+            constants.add(term.value)
+        return constants.pop() if len(constants) == 1 else None
+
+
+def assignment_to_machine(
+    problem: SynthesisProblem, assignment: Assignment, name: str = "synthesized"
+) -> ExtendedMealyMachine:
+    """Assemble the extended machine; unvisited transitions hold registers."""
+    initial_registers = dict(problem.initial_registers)
+    for register in problem.register_names:
+        unknown = Unknown(INITIAL_KEY, "initial", register)
+        if unknown in assignment:
+            initial_registers[register] = assignment[unknown].evaluate({}, {})
+    annotations: dict = {}
+    for state in problem.skeleton.states:
+        for symbol in problem.skeleton.input_alphabet:
+            key = (state, symbol)
+            updates: dict[str, Term] = {}
+            outputs: dict[str, Term] = {}
+            for register in problem.register_names:
+                unknown = Unknown(key, "update", register)
+                updates[register] = assignment.get(unknown, RegisterTerm(register))
+            for parameter in problem.output_fields:
+                unknown = Unknown(key, "output", parameter)
+                if unknown in assignment:
+                    outputs[parameter] = assignment[unknown]
+            annotations[key] = TransitionAnnotation(updates=updates, outputs=outputs)
+    return ExtendedMealyMachine(
+        skeleton=problem.skeleton,
+        register_names=problem.register_names,
+        initial_registers=initial_registers,
+        annotations=annotations,
+        name=name,
+    )
+
+
+def synthesize(
+    skeleton: MealyMachine,
+    traces: Sequence[Sequence[ConcreteStep]],
+    register_names: Sequence[str] = ("r0",),
+    negative_traces: Sequence[Sequence[ConcreteStep]] = (),
+    name: str = "synthesized",
+    max_branches: int = 500_000,
+    **problem_kwargs,
+) -> SynthesisResult | None:
+    """One-shot synthesis from a fixed trace set.
+
+    Returns None when the constraints are unsatisfiable *or* when the
+    search budget runs out (proving UNSAT over a large sketch is
+    exponential; callers treat both as "no machine found").
+    """
+    problem = build_problem(
+        skeleton, traces, register_names=register_names, **problem_kwargs
+    )
+    solver = TraceSolver(problem, traces, negative_traces, max_branches=max_branches)
+    try:
+        assignment = solver.solve()
+    except SearchBudgetExceeded:
+        return None
+    if assignment is None:
+        return None
+    machine = assignment_to_machine(problem, dict(assignment), name=name)
+    return SynthesisResult(
+        machine=machine,
+        problem=problem,
+        assignment=dict(assignment),
+        stats=solver.stats,
+        training_traces=[list(t) for t in traces],
+    )
+
+
+TraceProvider = Callable[[int], Sequence[Sequence[ConcreteStep]]]
+
+
+def synthesize_with_cegis(
+    skeleton: MealyMachine,
+    initial_traces: Sequence[Sequence[ConcreteStep]],
+    trace_provider: TraceProvider,
+    register_names: Sequence[str] = ("r0",),
+    max_rounds: int = 5,
+    name: str = "synthesized",
+    **problem_kwargs,
+) -> SynthesisResult | None:
+    """Counterexample-guided refinement.
+
+    After each synthesis, ``trace_provider(round)`` supplies fresh concrete
+    traces (in Prognosis these come from random equivalence testing against
+    the SUL).  Traces the candidate machine mispredicts are added to the
+    constraint set; consistent machines are returned.  This matches the
+    paper: "these are detected through random equivalence testing, and
+    trigger new queries in the synthesis algorithm".
+    """
+    traces = [list(t) for t in initial_traces]
+    result: SynthesisResult | None = None
+    for round_number in range(1, max_rounds + 1):
+        result = synthesize(
+            skeleton, traces, register_names=register_names, name=name, **problem_kwargs
+        )
+        if result is None:
+            return None
+        fresh = trace_provider(round_number)
+        mispredicted = [
+            list(t) for t in fresh if not result.machine.consistent_with(list(t))
+        ]
+        if not mispredicted:
+            result.rounds = round_number
+            return result
+        traces.extend(mispredicted)
+    if result is not None:
+        result.rounds = max_rounds
+    return result

@@ -1,0 +1,126 @@
+"""The term grammar of paper section 4.3.
+
+Register updates and output parameters are drawn from a finite menu of
+terms: a register's previous value, an input parameter, either of those
+incremented by one, or a constant mined from the traces -- e.g. the
+candidate list ``[r, r+1, pr, pr+1, pi, pi+1, sn, an]`` of the paper's
+worked example.  Terms evaluate over a register valuation and the current
+step's concrete input parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class RegisterTerm:
+    """The (previous or updated, per context) value of a register."""
+
+    register: str
+
+    def evaluate(self, registers: Mapping[str, int], inputs: Mapping[str, int]) -> int:
+        return registers[self.register]
+
+    def __str__(self) -> str:
+        return self.register
+
+
+@dataclass(frozen=True)
+class InputTerm:
+    """A concrete parameter of the current input packet (e.g. ``sn``)."""
+
+    field: str
+
+    def evaluate(self, registers: Mapping[str, int], inputs: Mapping[str, int]) -> int:
+        return inputs[self.field]
+
+    def __str__(self) -> str:
+        return self.field
+
+
+@dataclass(frozen=True)
+class ConstTerm:
+    """A constant mined from the traces (e.g. the telltale 0 of Issue 4)."""
+
+    value: int
+
+    def evaluate(self, registers: Mapping[str, int], inputs: Mapping[str, int]) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class PlusOne:
+    """Any base term incremented by one (``r + 1``, ``sn + 1``)."""
+
+    base: "RegisterTerm | InputTerm"
+
+    def evaluate(self, registers: Mapping[str, int], inputs: Mapping[str, int]) -> int:
+        return self.base.evaluate(registers, inputs) + 1
+
+    def __str__(self) -> str:
+        return f"{self.base}+1"
+
+
+Term = RegisterTerm | InputTerm | ConstTerm | PlusOne
+
+
+def term_complexity(term: Term) -> int:
+    """Preference order for solutions: registers < inputs < consts < +1.
+
+    The solver tries simpler terms first, so synthesized machines read like
+    the paper's figures (``r = pr`` rather than an incidental constant).
+    """
+    if isinstance(term, RegisterTerm):
+        return 0
+    if isinstance(term, InputTerm):
+        return 1
+    if isinstance(term, ConstTerm):
+        return 2
+    return 1 + term_complexity(term.base)
+
+
+def candidate_terms(
+    registers: Sequence[str],
+    input_fields: Sequence[str],
+    constants: Iterable[int] = (),
+    allow_increment: bool = True,
+) -> tuple[Term, ...]:
+    """The full candidate menu for one unknown, sorted by complexity."""
+    terms: list[Term] = []
+    for register in registers:
+        terms.append(RegisterTerm(register))
+        if allow_increment:
+            terms.append(PlusOne(RegisterTerm(register)))
+    for field in input_fields:
+        terms.append(InputTerm(field))
+        if allow_increment:
+            terms.append(PlusOne(InputTerm(field)))
+    for value in sorted(set(constants)):
+        terms.append(ConstTerm(value))
+    return tuple(sorted(terms, key=term_complexity))
+
+
+def mine_constants(
+    traces: Sequence[Sequence], fields: Sequence[str], limit: int = 8
+) -> list[int]:
+    """Collect small constants that appear as observed output parameters.
+
+    The paper's constraints include trace literals (0 and 3 in the worked
+    example); constants observed most often come first so the solver sees
+    the likely candidates early.
+    """
+    from collections import Counter
+
+    counts: Counter = Counter()
+    for steps in traces:
+        for step in steps:
+            for f in fields:
+                value = step.output_params.get(f)
+                if value is not None:
+                    counts[value] += 1
+    return [value for value, _ in counts.most_common(limit)]

@@ -1,0 +1,38 @@
+"""TCP substrate: segment codec, Linux-like server, reference client."""
+
+from .client import ClientConfig, TCPClient
+from .segment import (
+    ACK,
+    FIN,
+    HEADER_LEN,
+    PSH,
+    RST,
+    SegmentError,
+    SEQ_MODULUS,
+    SYN,
+    TCPSegment,
+    URG,
+    bits_to_flags,
+    flags_to_bits,
+)
+from .server import TCPServer, TCPServerConfig, TCPState
+
+__all__ = [
+    "ACK",
+    "ClientConfig",
+    "FIN",
+    "HEADER_LEN",
+    "PSH",
+    "RST",
+    "SEQ_MODULUS",
+    "SYN",
+    "SegmentError",
+    "TCPClient",
+    "TCPSegment",
+    "TCPServer",
+    "TCPServerConfig",
+    "TCPState",
+    "URG",
+    "bits_to_flags",
+    "flags_to_bits",
+]

@@ -1,0 +1,85 @@
+"""Shared fixtures: small machines, alphabets and SULs used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.alphabet import (
+    Alphabet,
+    TCPSymbol,
+    parse_tcp_symbol,
+    quic_alphabet,
+    tcp_alphabet,
+    tcp_handshake_alphabet,
+)
+from repro.core.mealy import MealyMachine, mealy_from_table
+
+
+@pytest.fixture
+def ab_alphabet() -> Alphabet:
+    """A tiny two-symbol alphabet for automata unit tests."""
+    return Alphabet.of(
+        [TCPSymbol.make(["SYN"]), TCPSymbol.make(["ACK"])]
+    )
+
+
+@pytest.fixture
+def out_symbols() -> tuple:
+    return (
+        TCPSymbol.make(["ACK", "SYN"]),
+        parse_tcp_symbol("NIL"),
+    )
+
+
+@pytest.fixture
+def rst_symbol() -> TCPSymbol:
+    return parse_tcp_symbol("RST(?,?,0)")
+
+
+@pytest.fixture
+def toy_machine(ab_alphabet, out_symbols, rst_symbol) -> MealyMachine:
+    """A minimal 3-state machine: open, established (RSTs a SYN), closed."""
+    syn, ack = ab_alphabet.symbols
+    synack, nil = out_symbols
+    table = [
+        ("s0", syn, synack, "s1"),
+        ("s0", ack, nil, "s0"),
+        ("s1", syn, rst_symbol, "s1"),
+        ("s1", ack, nil, "s2"),
+        ("s2", syn, nil, "s2"),
+        ("s2", ack, nil, "s2"),
+    ]
+    return mealy_from_table("s0", ab_alphabet, table, name="toy")
+
+
+@pytest.fixture
+def redundant_machine(ab_alphabet, out_symbols, rst_symbol) -> MealyMachine:
+    """The toy machine with a duplicated (mergeable) initial state."""
+    syn, ack = ab_alphabet.symbols
+    synack, nil = out_symbols
+    table = [
+        ("s0", syn, synack, "s1"),
+        ("s0", ack, nil, "s0b"),
+        ("s0b", syn, synack, "s1"),
+        ("s0b", ack, nil, "s0"),
+        ("s1", syn, rst_symbol, "s1"),
+        ("s1", ack, nil, "s2"),
+        ("s2", syn, nil, "s2"),
+        ("s2", ack, nil, "s2"),
+    ]
+    return mealy_from_table("s0", ab_alphabet, table, name="toy-redundant")
+
+
+@pytest.fixture(scope="session")
+def full_tcp_alphabet() -> Alphabet:
+    return tcp_alphabet()
+
+
+@pytest.fixture(scope="session")
+def handshake_alphabet() -> Alphabet:
+    return tcp_handshake_alphabet()
+
+
+@pytest.fixture(scope="session")
+def seven_quic_symbols() -> Alphabet:
+    return quic_alphabet()

@@ -1,0 +1,140 @@
+"""Tests for the LTLf engine and model checking."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.ltl import (
+    Eventually,
+    Globally,
+    LTLError,
+    Next,
+    Not,
+    Until,
+    input_is,
+    output_contains,
+    output_is,
+    parse_ltl,
+)
+from repro.analysis.properties import check_invariant, check_property, random_traces
+from repro.core.alphabet import TCPSymbol
+from repro.core.trace import IOTrace
+
+SYN = TCPSymbol.make(["SYN"])
+ACK = TCPSymbol.make(["ACK"])
+SYNACK = TCPSymbol.make(["SYN", "ACK"])
+NIL = TCPSymbol(label="NIL")
+
+
+def trace(*pairs):
+    inputs, outputs = zip(*pairs) if pairs else ((), ())
+    return IOTrace(tuple(inputs), tuple(outputs))
+
+
+class TestSemantics:
+    def test_atom(self):
+        t = trace((SYN, SYNACK))
+        assert input_is(str(SYN)).holds(t)
+        assert not input_is(str(ACK)).holds(t)
+
+    def test_globally(self):
+        t = trace((SYN, NIL), (ACK, NIL))
+        assert Globally(output_is("NIL")).holds(t)
+        assert not Globally(input_is(str(SYN))).holds(t)
+
+    def test_eventually(self):
+        t = trace((SYN, NIL), (ACK, SYNACK))
+        assert Eventually(output_contains("SYN")).holds(t)
+
+    def test_next_is_strong(self):
+        t = trace((SYN, NIL))
+        assert not Next(output_is("NIL")).holds(t)  # no successor position
+        t2 = trace((SYN, NIL), (ACK, NIL))
+        assert Next(output_is("NIL")).holds(t2)
+
+    def test_until(self):
+        t = trace((SYN, NIL), (SYN, NIL), (ACK, SYNACK))
+        formula = Until(output_is("NIL"), output_contains("SYN"))
+        assert formula.holds(t)
+        t_never = trace((SYN, NIL), (SYN, NIL))
+        assert not formula.holds(t_never)
+
+    def test_implication(self):
+        t = trace((SYN, SYNACK), (ACK, NIL))
+        formula = input_is(str(SYN)).implies(output_contains("SYN"))
+        assert Globally(formula).holds(t)
+
+    def test_empty_trace_vacuous(self):
+        assert Globally(output_is("anything")).holds(trace())
+
+
+class TestParser:
+    def test_parse_globally(self):
+        formula = parse_ltl("G (out == NIL)")
+        assert formula.holds(trace((SYN, NIL))) is True
+        assert formula.holds(trace((SYN, SYNACK))) is False
+
+    def test_parse_implication_next(self):
+        formula = parse_ltl("G ((in == SYN(?,?,0)) -> X (out == NIL))")
+        good = trace((TCPSymbol.make(["SYN"], 0, 0, 0), SYNACK))
+        # input label here is SYN(0,0,0); the atom does not match, vacuous
+        assert formula.holds(good)
+
+    def test_parse_until_and_not(self):
+        formula = parse_ltl("(out != NIL) U (out ~ SYN)")
+        assert formula.holds(trace((SYN, SYNACK)))
+
+    def test_parse_boolean_connectives(self):
+        formula = parse_ltl("(out == NIL) || (out ~ SYN)")
+        assert formula.holds(trace((SYN, SYNACK)))
+        formula_and = parse_ltl("(out ~ SYN) && (in ~ SYN)")
+        assert formula_and.holds(trace((SYN, SYNACK)))
+
+    def test_parse_errors(self):
+        with pytest.raises(LTLError):
+            parse_ltl("G (out ===== NIL)")
+        with pytest.raises(LTLError):
+            parse_ltl("(out == NIL")
+        with pytest.raises(LTLError):
+            parse_ltl("")
+
+
+class TestModelChecking:
+    def test_holding_property(self, toy_machine):
+        # The toy machine only SYN+ACKs in response to SYN.
+        violation = check_property(
+            toy_machine,
+            parse_ltl("G ((out ~ ACK+SYN) -> (in ~ SYN))"),
+            depth=5,
+        )
+        assert violation is None
+
+    def test_violated_property_has_witness(self, toy_machine):
+        violation = check_property(
+            toy_machine, parse_ltl("G (out == NIL)"), depth=4
+        )
+        assert violation is not None
+        assert "SYN" in violation.trace.render()
+
+    def test_invariant_check(self, toy_machine):
+        violation = check_invariant(
+            toy_machine, lambda t: len(t) <= 10, depth=4
+        )
+        assert violation is None
+
+    def test_random_traces_come_from_model(self, toy_machine):
+        for t in random_traces(toy_machine, num_traces=20, max_length=6, seed=3):
+            assert toy_machine.run(t.inputs) == t.outputs
+
+
+# Property: G p == !F !p on arbitrary traces.
+_OUTS = [NIL, SYNACK]
+
+
+@given(
+    st.lists(st.sampled_from(_OUTS), min_size=1, max_size=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_globally_duality(outputs):
+    t = IOTrace(tuple(SYN for _ in outputs), tuple(outputs))
+    p = output_is("NIL")
+    assert Globally(p).holds(t) == Not(Eventually(Not(p))).holds(t)

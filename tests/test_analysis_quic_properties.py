@@ -1,0 +1,85 @@
+"""Tests for the QUIC property suite over learned models."""
+
+import pytest
+
+from repro.analysis.quic_properties import (
+    DESIGN_PROBES,
+    STANDARD_PROPERTIES,
+    check_quic_properties,
+    client_done_draws_close,
+    close_is_terminal_for_data,
+    handshake_done_only_after_finished,
+    no_server_flight_without_hello,
+    render_results,
+    single_packet_close,
+)
+from repro.core.alphabet import parse_quic_output, parse_quic_symbol
+from repro.core.trace import IOTrace
+
+CH = parse_quic_symbol("INITIAL(?,?)[CRYPTO]")
+HC = parse_quic_symbol("HANDSHAKE(?,?)[ACK,CRYPTO]")
+SHD = parse_quic_symbol("SHORT(?,?)[ACK,HANDSHAKE_DONE]")
+EMPTY = parse_quic_output("{}")
+FLIGHT = parse_quic_output(
+    "{HANDSHAKE(?,?)[CRYPTO],HANDSHAKE(?,?)[CRYPTO],INITIAL(?,?)[ACK,CRYPTO]}"
+)
+DONE = parse_quic_output("{SHORT(?,?)[CRYPTO,HANDSHAKE_DONE,STREAM]}")
+CLOSE = parse_quic_output("{SHORT(?,?)[CONNECTION_CLOSE]}")
+LATE_STREAM = parse_quic_output("{SHORT(?,?)[ACK,STREAM]}")
+
+
+class TestPredicates:
+    def test_done_after_finished_holds(self):
+        trace = IOTrace((CH, HC), (FLIGHT, DONE))
+        assert handshake_done_only_after_finished(trace)
+
+    def test_done_before_finished_violates(self):
+        trace = IOTrace((CH,), (DONE,))
+        assert not handshake_done_only_after_finished(trace)
+
+    def test_flight_requires_hello(self):
+        assert not no_server_flight_without_hello(IOTrace((HC,), (FLIGHT,)))
+        assert no_server_flight_without_hello(IOTrace((CH,), (FLIGHT,)))
+
+    def test_close_terminal_for_data(self):
+        ok = IOTrace((CH, HC, SHD), (FLIGHT, DONE, CLOSE))
+        assert close_is_terminal_for_data(ok)
+        bad = IOTrace((CH, SHD, HC), (FLIGHT, CLOSE, LATE_STREAM))
+        assert not close_is_terminal_for_data(bad)
+
+    def test_client_done_draws_close(self):
+        answered = IOTrace((CH, HC, SHD), (FLIGHT, DONE, CLOSE))
+        assert client_done_draws_close(answered)
+        ignored = IOTrace((CH, HC, SHD), (FLIGHT, DONE, EMPTY))
+        assert not client_done_draws_close(ignored)
+
+    def test_client_done_ok_when_already_closed(self):
+        trace = IOTrace((CH, HC, SHD, SHD), (FLIGHT, DONE, CLOSE, EMPTY))
+        assert client_done_draws_close(trace)
+
+    def test_single_packet_close_probe(self):
+        bundled = parse_quic_output(
+            "{HANDSHAKE(?,?)[CONNECTION_CLOSE],INITIAL(?,?)[ACK,CONNECTION_CLOSE]}"
+        )
+        assert not single_packet_close(IOTrace((CH,), (bundled,)))
+        assert single_packet_close(IOTrace((CH,), (CLOSE,)))
+
+
+class TestSuiteOnLearnedModels:
+    def test_standard_properties_hold_on_quiche(self):
+        from repro.experiments import learn_quic
+
+        model = learn_quic("quiche").model
+        results = check_quic_properties(model, STANDARD_PROPERTIES, depth=4)
+        rendered = render_results(results)
+        assert all(r.holds for r in results), rendered
+
+    def test_design_probe_distinguishes_implementations(self):
+        from repro.experiments import learn_quic
+
+        quiche = learn_quic("quiche").model
+        google = learn_quic("google").model
+        quiche_probe = check_quic_properties(quiche, DESIGN_PROBES, depth=3)
+        google_probe = check_quic_properties(google, DESIGN_PROBES, depth=3)
+        assert quiche_probe[0].holds
+        assert not google_probe[0].holds

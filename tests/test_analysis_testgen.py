@@ -1,0 +1,73 @@
+"""Tests for model-based test generation and differential testing."""
+
+import pytest
+
+from repro.adapter.mealy_sul import MealySUL
+from repro.analysis.testgen import (
+    DifferentialReport,
+    differential_test,
+    generate_test_suite,
+)
+from repro.core.mealy import MealyMachine
+
+
+def mutate(machine, state, symbol, new_output):
+    table = {
+        (t.source, t.input): (t.target, t.output) for t in machine.transitions()
+    }
+    target, _ = table[(state, symbol)]
+    table[(state, symbol)] = (target, new_output)
+    return MealyMachine(machine.initial_state, machine.input_alphabet, table, "mutant")
+
+
+class TestSuiteGeneration:
+    def test_transition_cover_size(self, toy_machine):
+        suite = generate_test_suite(toy_machine, "transition-cover")
+        assert len(suite) == toy_machine.num_transitions
+
+    def test_wmethod_suite_nonempty(self, toy_machine):
+        suite = generate_test_suite(toy_machine, "wmethod")
+        assert suite
+        assert all(isinstance(w, tuple) for w in suite)
+
+    def test_random_suite_is_seeded(self, toy_machine):
+        a = generate_test_suite(toy_machine, "random", seed=1)
+        b = generate_test_suite(toy_machine, "random", seed=1)
+        c = generate_test_suite(toy_machine, "random", seed=2)
+        assert a == b
+        assert a != c
+
+
+class TestDifferentialTesting:
+    def test_conforming_sul_passes(self, toy_machine):
+        report = differential_test(toy_machine, MealySUL(toy_machine))
+        assert report.conforms
+        assert report.divergence_rate == 0.0
+
+    def test_mutant_is_caught(self, toy_machine, ab_alphabet, out_symbols):
+        syn, ack = ab_alphabet.symbols
+        synack, _ = out_symbols
+        mutant = mutate(toy_machine, "s1", ack, synack)
+        report = differential_test(toy_machine, MealySUL(mutant))
+        assert not report.conforms
+        divergence = report.divergences[0]
+        assert divergence.expected != divergence.actual
+        assert "expected" in divergence.render()
+
+    def test_max_divergences_caps_collection(self, toy_machine, ab_alphabet, out_symbols):
+        syn, ack = ab_alphabet.symbols
+        synack, _ = out_symbols
+        mutant = mutate(toy_machine, "s0", ack, synack)
+        suite = generate_test_suite(toy_machine, "random", num_random=50, seed=4)
+        report = differential_test(
+            toy_machine, MealySUL(mutant), suite, max_divergences=2
+        )
+        assert len(report.divergences) == 2
+
+    def test_report_rendering(self, toy_machine, ab_alphabet, out_symbols):
+        syn, ack = ab_alphabet.symbols
+        synack, _ = out_symbols
+        mutant = mutate(toy_machine, "s0", ack, synack)
+        report = differential_test(toy_machine, MealySUL(mutant))
+        text = report.render()
+        assert "divergences" in text

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_learn_args(self):
+        args = build_parser().parse_args(["learn", "tcp", "--table"])
+        assert args.target == "tcp"
+        assert args.table
+
+    def test_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["learn", "http3"])
+
+    def test_issue_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["issues", "9"])
+
+
+class TestCommands:
+    def test_learn_tcp_prints_summary(self, capsys, tmp_path):
+        dot_path = tmp_path / "tcp.dot"
+        code = main(["learn", "tcp", "--dot", str(dot_path), "--table"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "6 states" in captured
+        assert dot_path.read_text().startswith("digraph")
+
+    def test_check_holding_property(self, capsys):
+        code = main(["check", "tcp", "G (in ~ SYN -> out != BOGUS)", "--depth", "3"])
+        assert code == 0
+        assert "holds" in capsys.readouterr().out
+
+    def test_check_violated_property(self, capsys):
+        code = main(["check", "tcp", "G (out == NIL)", "--depth", "3"])
+        assert code == 1
+        assert "violated" in capsys.readouterr().out
+
+    def test_properties_rejects_tcp(self, capsys):
+        assert main(["properties", "tcp"]) == 2
+
+    def test_compare_differing_models(self, capsys):
+        code = main(["compare", "quic-google", "quic-quiche"])
+        out = capsys.readouterr().out
+        assert code == 1  # models differ
+        assert "states" in out

@@ -1,0 +1,79 @@
+"""Unit tests for the Oracle Table."""
+
+import pytest
+
+from repro.core.alphabet import TCPSymbol, parse_tcp_symbol
+from repro.core.oracle_table import OracleTable
+
+SYN = TCPSymbol.make(["SYN"])
+ACK = TCPSymbol.make(["ACK"])
+SYNACK = TCPSymbol.make(["SYN", "ACK"])
+NIL = parse_tcp_symbol("NIL")
+
+
+@pytest.fixture
+def table() -> OracleTable:
+    table = OracleTable()
+    table.record(
+        (SYN, ACK),
+        (SYNACK, NIL),
+        [{"sn": 0}, {"sn": 1}],
+        [{"an": 1}, {}],
+    )
+    return table
+
+
+class TestRecording:
+    def test_lookup_exact(self, table):
+        entry = table.lookup((SYN, ACK))
+        assert entry is not None
+        assert entry.abstract.outputs == (SYNACK, NIL)
+        assert entry.steps[0].output_params == {"an": 1}
+
+    def test_lookup_missing(self, table):
+        assert table.lookup((ACK,)) is None
+
+    def test_contains(self, table):
+        assert (SYN, ACK) in table
+        assert (ACK, SYN) not in table
+
+    def test_rerecord_overwrites(self, table):
+        table.record((SYN, ACK), (SYNACK, SYNACK), [{}, {}], [{}, {}])
+        assert table.lookup((SYN, ACK)).abstract.outputs == (SYNACK, SYNACK)
+        assert len(table) == 1
+
+    def test_mismatched_lengths_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.record((SYN,), (SYNACK, NIL), [{}], [{}])
+
+
+class TestPrefixLookup:
+    def test_prefix_answered_from_longer_entry(self, table):
+        outputs = table.lookup_output((SYN,))
+        assert outputs == (SYNACK,)
+
+    def test_exact_preferred(self, table):
+        table.record((SYN,), (NIL,), [{}], [{}])
+        assert table.lookup_output((SYN,)) == (NIL,)
+
+    def test_missing_prefix(self, table):
+        assert table.lookup_output((ACK, ACK)) is None
+
+
+class TestEviction:
+    def test_max_entries_evicts_oldest(self):
+        table = OracleTable(max_entries=2)
+        table.record((SYN,), (SYNACK,), [{}], [{}])
+        table.record((ACK,), (NIL,), [{}], [{}])
+        table.record((SYN, ACK), (SYNACK, NIL), [{}, {}], [{}, {}])
+        assert len(table) == 2
+        assert table.lookup((SYN,)) is None
+
+    def test_concrete_traces_view(self, table):
+        traces = table.concrete_traces()
+        assert len(traces) == 1
+        assert traces[0][0].input_params == {"sn": 0}
+
+    def test_clear(self, table):
+        table.clear()
+        assert len(table) == 0

@@ -1,0 +1,66 @@
+"""Unit tests for traces and word utilities."""
+
+import pytest
+
+from repro.core.alphabet import TCPSymbol, parse_tcp_symbol
+from repro.core.trace import (
+    EMPTY_TRACE,
+    IOTrace,
+    all_words,
+    common_prefix_length,
+    count_words,
+    render_word,
+)
+
+SYN = TCPSymbol.make(["SYN"])
+ACK = TCPSymbol.make(["ACK"])
+NIL = parse_tcp_symbol("NIL")
+
+
+class TestIOTrace:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            IOTrace((SYN,), ())
+
+    def test_prefixes_are_increasing(self):
+        trace = IOTrace((SYN, ACK), (ACK, NIL))
+        prefixes = list(trace.prefixes())
+        assert [len(p) for p in prefixes] == [1, 2]
+        assert prefixes[-1] == trace
+
+    def test_extend(self):
+        extended = EMPTY_TRACE.extend(SYN, ACK)
+        assert len(extended) == 1
+        assert extended.last_output == ACK
+
+    def test_last_output_of_empty_raises(self):
+        with pytest.raises(IndexError):
+            _ = EMPTY_TRACE.last_output
+
+    def test_render(self):
+        trace = IOTrace((SYN,), (ACK,))
+        assert "/" in trace.render()
+        assert EMPTY_TRACE.render() == "ε"
+
+
+class TestWordUtilities:
+    def test_common_prefix_length(self):
+        assert common_prefix_length("abcd", "abxy") == 2
+        assert common_prefix_length("", "abc") == 0
+        assert common_prefix_length("abc", "abc") == 3
+
+    def test_render_word_empty(self):
+        assert render_word(()) == "ε"
+
+    def test_count_words_matches_paper(self):
+        # The figure quoted in section 6.2.2.
+        assert count_words(7, 10) == 329_554_456
+
+    def test_count_words_small(self):
+        assert count_words(2, 3) == 2 + 4 + 8
+
+    def test_all_words_enumerates_exactly(self):
+        words = list(all_words([SYN, ACK], 3))
+        assert len(words) == count_words(2, 3)
+        assert len(set(words)) == len(words)
+        assert max(len(w) for w in words) == 3

@@ -1,0 +1,38 @@
+"""Smoke tests: the example scripts run end to end."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart_runs(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "6 states" in out
+        assert "ACK+SYN(?,?,0)" in out
+
+    def test_synthesize_registers_runs(self, capsys):
+        load_example("synthesize_registers").main()
+        out = capsys.readouterr().out
+        assert "synthesized output terms" in out
+        assert "digraph" in out
+
+    def test_learn_quic_models_runs(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        load_example("learn_quic_models").main()
+        out = capsys.readouterr().out
+        assert "12 states" in out
+        assert "8 states" in out
+        assert (tmp_path / "google.dot").exists()

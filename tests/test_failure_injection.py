@@ -1,0 +1,80 @@
+"""Failure injection: environmental nondeterminism from a lossy network.
+
+Paper section 5 distinguishes two nondeterminism sources: abstraction
+collapse / implementation bugs versus *environmental* effects (latency,
+packet loss).  The majority-vote check is designed to ride out the latter:
+with enough repeats the true answer wins; with a strict budget the noise
+surfaces as a NondeterminismError.
+"""
+
+import pytest
+
+from repro.adapter.tcp_adapter import TCPAdapterSUL
+from repro.core.alphabet import parse_tcp_symbol, tcp_handshake_alphabet
+from repro.learn.nondeterminism import (
+    MajorityVoteOracle,
+    NondeterminismError,
+    NondeterminismPolicy,
+    estimate_response_distribution,
+)
+from repro.learn.teacher import SULMembershipOracle
+from repro.netsim import LinkConfig
+
+SYN = parse_tcp_symbol("SYN(?,?,0)")
+ACK = parse_tcp_symbol("ACK(?,?,0)")
+
+
+def lossy_sul(loss_rate: float, seed: int = 3) -> TCPAdapterSUL:
+    return TCPAdapterSUL(
+        alphabet=tcp_handshake_alphabet(),
+        link=LinkConfig(loss_rate=loss_rate),
+        seed=seed,
+    )
+
+
+class TestLossObservability:
+    def test_loss_produces_differing_responses(self):
+        oracle = SULMembershipOracle(lossy_sul(loss_rate=0.3))
+        distribution = estimate_response_distribution(oracle, (SYN, ACK), 60)
+        assert len(distribution) > 1  # the environment is visible
+
+    def test_perfect_link_is_deterministic(self):
+        oracle = SULMembershipOracle(lossy_sul(loss_rate=0.0))
+        distribution = estimate_response_distribution(oracle, (SYN, ACK), 20)
+        assert len(distribution) == 1
+
+
+class TestMajorityVoteRidesOutLoss:
+    def test_majority_recovers_true_answer(self):
+        reference = lossy_sul(loss_rate=0.0)
+        truth = reference.query((SYN, ACK))
+
+        noisy = MajorityVoteOracle(
+            SULMembershipOracle(lossy_sul(loss_rate=0.15)),
+            NondeterminismPolicy(min_repeats=5, max_repeats=40, certainty=0.6),
+        )
+        recovered = noisy.query((SYN, ACK))
+        assert recovered == truth
+
+    def test_strict_budget_surfaces_the_noise(self):
+        noisy = MajorityVoteOracle(
+            SULMembershipOracle(lossy_sul(loss_rate=0.4, seed=8)),
+            NondeterminismPolicy(min_repeats=3, max_repeats=5, certainty=0.99),
+        )
+        with pytest.raises(NondeterminismError):
+            for _ in range(20):  # enough attempts for loss to strike
+                noisy.query((SYN, ACK))
+
+
+class TestLatencyAndJitterAreHarmless:
+    def test_jitter_does_not_break_determinism(self):
+        # Within one query the exchanges are strictly sequential, so
+        # per-packet jitter cannot reorder request/response pairs.
+        sul = TCPAdapterSUL(
+            alphabet=tcp_handshake_alphabet(),
+            link=LinkConfig(latency=0.01, jitter=0.05),
+            seed=5,
+        )
+        first = sul.query((SYN, ACK, SYN))
+        for _ in range(5):
+            assert sul.query((SYN, ACK, SYN)) == first

@@ -1,0 +1,69 @@
+"""Tests for the Prognosis facade."""
+
+import pytest
+
+from repro.adapter.mealy_sul import MealySUL
+from repro.analysis.equivalence import equivalent
+from repro.framework import Prognosis
+from repro.learn.nondeterminism import NondeterminismPolicy
+
+
+class TestConstruction:
+    def test_default_pipeline(self, toy_machine):
+        prognosis = Prognosis(MealySUL(toy_machine))
+        assert prognosis.cache_oracle is not None
+        assert prognosis.majority_oracle is None
+
+    def test_without_cache(self, toy_machine):
+        prognosis = Prognosis(MealySUL(toy_machine), use_cache=False)
+        assert prognosis.cache_oracle is None
+
+    def test_with_nondeterminism_policy(self, toy_machine):
+        prognosis = Prognosis(
+            MealySUL(toy_machine),
+            nondeterminism_policy=NondeterminismPolicy(min_repeats=2),
+        )
+        assert prognosis.majority_oracle is not None
+
+    @pytest.mark.parametrize("learner", ["ttt", "lstar"])
+    @pytest.mark.parametrize("equivalence", ["wmethod", "random", "random+wmethod"])
+    def test_all_configurations_learn(self, toy_machine, learner, equivalence):
+        prognosis = Prognosis(
+            MealySUL(toy_machine), learner=learner, equivalence=equivalence
+        )
+        report = prognosis.learn()
+        assert equivalent(report.model, toy_machine)
+
+
+class TestReporting:
+    def test_report_fields(self, toy_machine):
+        prognosis = Prognosis(MealySUL(toy_machine))
+        report = prognosis.learn()
+        assert report.num_states == 3
+        assert report.num_transitions == 6
+        assert report.sul_queries > 0
+        assert report.sul_resets > 0
+        assert "states" in report.summary()
+
+    def test_cache_hit_rate_reported(self, toy_machine):
+        prognosis = Prognosis(MealySUL(toy_machine))
+        report = prognosis.learn()
+        assert 0.0 <= report.cache_hit_rate <= 1.0
+
+
+class TestAnalysisHelpers:
+    def test_check_property(self, toy_machine):
+        prognosis = Prognosis(MealySUL(toy_machine))
+        report = prognosis.learn()
+        violation = prognosis.check(report.model, "G (in ~ SYN -> out != X)", depth=3)
+        assert violation is None  # no output is literally "X"
+
+    def test_reduction(self, toy_machine):
+        prognosis = Prognosis(MealySUL(toy_machine))
+        report = prognosis.learn()
+        reduction = prognosis.reduction(report.model)
+        assert reduction.total_traces > reduction.model_traces
+
+    def test_compare(self, toy_machine, redundant_machine):
+        diff = Prognosis.compare(toy_machine, redundant_machine)
+        assert diff.equivalent

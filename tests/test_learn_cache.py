@@ -1,0 +1,136 @@
+"""Tests for the query cache and nondeterminism detection layers."""
+
+from collections import Counter
+
+import pytest
+
+from repro.adapter.mealy_sul import MealySUL
+from repro.learn.cache import (
+    CacheInconsistencyError,
+    CachedMembershipOracle,
+    QueryCache,
+)
+from repro.learn.nondeterminism import (
+    MajorityVoteOracle,
+    NondeterminismError,
+    NondeterminismPolicy,
+    estimate_response_distribution,
+)
+from repro.learn.teacher import SULMembershipOracle
+
+
+class TestQueryCache:
+    def test_lookup_after_insert(self, toy_machine, ab_alphabet):
+        syn, ack = ab_alphabet.symbols
+        cache = QueryCache()
+        cache.insert((syn, ack), toy_machine.run((syn, ack)))
+        assert cache.lookup((syn, ack)) == toy_machine.run((syn, ack))
+
+    def test_prefix_answered(self, toy_machine, ab_alphabet):
+        syn, ack = ab_alphabet.symbols
+        cache = QueryCache()
+        cache.insert((syn, ack), toy_machine.run((syn, ack)))
+        assert cache.lookup((syn,)) == toy_machine.run((syn,))
+
+    def test_extension_misses(self, toy_machine, ab_alphabet):
+        syn, ack = ab_alphabet.symbols
+        cache = QueryCache()
+        cache.insert((syn,), toy_machine.run((syn,)))
+        assert cache.lookup((syn, ack)) is None
+
+    def test_conflict_detected(self, ab_alphabet, out_symbols):
+        syn, _ = ab_alphabet.symbols
+        synack, nil = out_symbols
+        cache = QueryCache()
+        cache.insert((syn,), (synack,))
+        with pytest.raises(CacheInconsistencyError):
+            cache.insert((syn,), (nil,))
+
+    def test_clear(self, ab_alphabet, out_symbols):
+        syn, _ = ab_alphabet.symbols
+        synack, _ = out_symbols
+        cache = QueryCache()
+        cache.insert((syn,), (synack,))
+        cache.clear()
+        assert cache.lookup((syn,)) is None
+        assert cache.entries == 0
+
+
+class TestCachedOracle:
+    def test_second_query_is_a_hit(self, toy_machine, ab_alphabet):
+        syn, ack = ab_alphabet.symbols
+        sul = MealySUL(toy_machine)
+        oracle = CachedMembershipOracle(SULMembershipOracle(sul))
+        oracle.query((syn, ack))
+        oracle.query((syn, ack))
+        assert oracle.hits == 1
+        assert sul.stats.queries == 1
+
+    def test_prefix_hit_avoids_sul(self, toy_machine, ab_alphabet):
+        syn, ack = ab_alphabet.symbols
+        sul = MealySUL(toy_machine)
+        oracle = CachedMembershipOracle(SULMembershipOracle(sul))
+        oracle.query((syn, ack))
+        oracle.query((syn,))
+        assert sul.stats.queries == 1
+        assert oracle.hit_rate == 0.5
+
+
+class _FlakySUL(MealySUL):
+    """Deterministic machine whose last output flips with period ``period``."""
+
+    def __init__(self, machine, flip_symbol, alt_output, period=3):
+        super().__init__(machine)
+        self._flip_symbol = flip_symbol
+        self._alt_output = alt_output
+        self._period = period
+        self._count = 0
+
+    def _step_impl(self, symbol):
+        output, i, o = super()._step_impl(symbol)
+        if symbol == self._flip_symbol:
+            self._count += 1
+            if self._count % self._period == 0:
+                return self._alt_output, i, o
+        return output, i, o
+
+
+class TestMajorityVote:
+    def test_deterministic_passes_through(self, toy_machine, ab_alphabet):
+        syn, ack = ab_alphabet.symbols
+        oracle = MajorityVoteOracle(
+            SULMembershipOracle(MealySUL(toy_machine)),
+            NondeterminismPolicy(min_repeats=2, max_repeats=4),
+        )
+        assert oracle.query((syn, ack)) == toy_machine.run((syn, ack))
+
+    def test_nondeterminism_detected(self, toy_machine, ab_alphabet, out_symbols):
+        syn, ack = ab_alphabet.symbols
+        synack, nil = out_symbols
+        flaky = _FlakySUL(toy_machine, flip_symbol=ack, alt_output=synack, period=2)
+        oracle = MajorityVoteOracle(
+            SULMembershipOracle(flaky),
+            NondeterminismPolicy(min_repeats=3, max_repeats=6, certainty=0.95),
+        )
+        with pytest.raises(NondeterminismError) as excinfo:
+            oracle.query((syn, ack))
+        assert excinfo.value.frequency_of_most_common() <= 0.95
+        assert oracle.nondeterministic_queries == 1
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            NondeterminismPolicy(min_repeats=0)
+        with pytest.raises(ValueError):
+            NondeterminismPolicy(certainty=0.4)
+        with pytest.raises(ValueError):
+            NondeterminismPolicy(min_repeats=5, max_repeats=2)
+
+    def test_distribution_estimate(self, toy_machine, ab_alphabet, out_symbols):
+        syn, ack = ab_alphabet.symbols
+        synack, _ = out_symbols
+        flaky = _FlakySUL(toy_machine, flip_symbol=ack, alt_output=synack, period=4)
+        oracle = SULMembershipOracle(flaky)
+        distribution = estimate_response_distribution(oracle, (syn, ack), 40)
+        assert isinstance(distribution, Counter)
+        assert sum(distribution.values()) == 40
+        assert len(distribution) == 2

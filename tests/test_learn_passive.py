@@ -1,0 +1,103 @@
+"""Tests for passive learning and active-learning bootstrap (section 8)."""
+
+import random
+
+import pytest
+
+from repro.adapter.mealy_sul import MealySUL
+from repro.core.trace import IOTrace
+from repro.framework import Prognosis
+from repro.learn.cache import CachedMembershipOracle, CacheInconsistencyError
+from repro.learn.passive import (
+    PartialMealyMachine,
+    rpni_mealy,
+    seed_cache_from_traces,
+)
+from repro.learn.teacher import SULMembershipOracle
+
+
+def logged_traces(machine, num=60, max_len=8, seed=5):
+    """Random-walk logs from a reference machine."""
+    rng = random.Random(seed)
+    symbols = list(machine.input_alphabet)
+    traces = []
+    for _ in range(num):
+        word = tuple(
+            rng.choice(symbols) for _ in range(rng.randint(1, max_len))
+        )
+        traces.append(IOTrace(word, machine.run(word)))
+    return traces
+
+
+class TestPrefixTree:
+    def test_conflicting_log_rejected(self, toy_machine, ab_alphabet, out_symbols):
+        syn, _ = ab_alphabet.symbols
+        synack, nil = out_symbols
+        good = IOTrace((syn,), (synack,))
+        bad = IOTrace((syn,), (nil,))
+        with pytest.raises(ValueError):
+            rpni_mealy([good, bad], ab_alphabet)
+
+
+class TestRPNI:
+    def test_learns_toy_machine_from_logs(self, toy_machine, ab_alphabet):
+        traces = logged_traces(toy_machine, num=80)
+        learned = rpni_mealy(traces, ab_alphabet)
+        # Rich logs should collapse to (about) the true state count.
+        assert learned.num_states <= 2 * toy_machine.num_states
+        test_words = [t.inputs for t in logged_traces(toy_machine, num=40, seed=9)]
+        assert learned.accuracy(toy_machine, test_words) >= 0.9
+
+    def test_prediction_matches_logs_exactly(self, toy_machine, ab_alphabet):
+        traces = logged_traces(toy_machine, num=30)
+        learned = rpni_mealy(traces, ab_alphabet)
+        for trace in traces:
+            predicted = learned.predict(trace.inputs)
+            assert predicted == trace.outputs
+
+    def test_unknown_words_predict_none_or_correct(self, toy_machine, ab_alphabet):
+        syn, ack = ab_alphabet.symbols
+        traces = [IOTrace((syn,), toy_machine.run((syn,)))]
+        learned = rpni_mealy(traces, ab_alphabet)
+        long_word = (syn, ack, ack, syn, syn, ack)
+        predicted = learned.predict(long_word)
+        assert predicted is None or predicted == toy_machine.run(long_word)
+
+    def test_to_complete_fills_gaps(self, toy_machine, ab_alphabet, out_symbols):
+        _, nil = out_symbols
+        traces = logged_traces(toy_machine, num=10, max_len=3)
+        learned = rpni_mealy(traces, ab_alphabet)
+        complete = learned.to_complete(sink_output=nil)
+        # Complete machines answer everything.
+        syn, ack = ab_alphabet.symbols
+        assert len(complete.run((syn, ack, syn, ack))) == 4
+
+
+class TestBootstrap:
+    def test_seeding_reduces_sul_queries(self, toy_machine, ab_alphabet):
+        # Active learning without logs.
+        plain = Prognosis(MealySUL(toy_machine), name="plain")
+        plain_report = plain.learn()
+
+        # Active learning with the cache seeded from logs.
+        boosted = Prognosis(MealySUL(toy_machine), name="boosted")
+        inserted = seed_cache_from_traces(
+            boosted.cache_oracle.cache, logged_traces(toy_machine, num=100)
+        )
+        assert inserted == 100
+        boosted_report = boosted.learn()
+
+        assert boosted_report.model.num_states == plain_report.model.num_states
+        assert boosted_report.sul_queries < plain_report.sul_queries
+
+    def test_conflicting_log_detected_at_seed_time(
+        self, toy_machine, ab_alphabet, out_symbols
+    ):
+        syn, _ = ab_alphabet.symbols
+        synack, nil = out_symbols
+        oracle = CachedMembershipOracle(
+            SULMembershipOracle(MealySUL(toy_machine))
+        )
+        seed_cache_from_traces(oracle.cache, [IOTrace((syn,), (synack,))])
+        with pytest.raises(CacheInconsistencyError):
+            seed_cache_from_traces(oracle.cache, [IOTrace((syn,), (nil,))])

@@ -1,0 +1,112 @@
+"""Cross-cutting property-based tests on codecs and test-suite guarantees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alphabet import (
+    Alphabet,
+    QUICOutput,
+    QUICSymbol,
+    QUIC_FRAME_TYPES,
+    TCPSymbol,
+    parse_quic_output,
+    parse_quic_symbol,
+)
+from repro.core.mealy import MealyMachine
+from repro.quic.transport_params import TransportParameters
+
+SYN = TCPSymbol.make(["SYN"])
+ACK = TCPSymbol.make(["ACK"])
+OUTS = [TCPSymbol.make(["SYN", "ACK"]), TCPSymbol(label="NIL"), TCPSymbol(label="RST(?,?,0)")]
+
+
+@given(
+    max_idle=st.integers(0, 2**20),
+    max_data=st.integers(0, 2**30),
+    msd_local=st.integers(0, 2**20),
+    msd_remote=st.integers(0, 2**20),
+    streams=st.integers(0, 2**16),
+    odcid=st.binary(max_size=20),
+)
+@settings(max_examples=150, deadline=None)
+def test_transport_params_roundtrip(
+    max_idle, max_data, msd_local, msd_remote, streams, odcid
+):
+    params = TransportParameters(
+        max_idle_timeout=max_idle,
+        initial_max_data=max_data,
+        initial_max_stream_data_bidi_local=msd_local,
+        initial_max_stream_data_bidi_remote=msd_remote,
+        initial_max_streams_bidi=streams,
+        original_dcid=odcid,
+    )
+    decoded = TransportParameters.decode(params.encode())
+    assert decoded.max_idle_timeout == max_idle
+    assert decoded.initial_max_data == max_data
+    assert decoded.initial_max_stream_data_bidi_local == msd_local
+    assert decoded.initial_max_stream_data_bidi_remote == msd_remote
+    assert decoded.initial_max_streams_bidi == streams
+    assert decoded.original_dcid == odcid
+
+
+_PTYPES = ["INITIAL", "HANDSHAKE", "SHORT"]
+
+
+@given(
+    packets=st.lists(
+        st.tuples(
+            st.sampled_from(_PTYPES),
+            st.sets(st.sampled_from(QUIC_FRAME_TYPES), max_size=4),
+        ),
+        max_size=5,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_quic_output_parse_render_roundtrip(packets):
+    output = QUICOutput.make(
+        QUICSymbol.make(ptype, frames) for ptype, frames in packets
+    )
+    assert parse_quic_output(str(output)) == output
+
+
+@st.composite
+def machine_with_mutation(draw):
+    num_states = draw(st.integers(min_value=2, max_value=5))
+    alphabet = Alphabet.of([SYN, ACK])
+    table = {}
+    for state in range(num_states):
+        for symbol in (SYN, ACK):
+            target = draw(st.integers(0, num_states - 1))
+            output = draw(st.sampled_from(OUTS))
+            table[(state, symbol)] = (target, output)
+    machine = MealyMachine(0, alphabet, table, "random")
+    # Mutate the output of one transition reachable in the trimmed machine.
+    source = draw(st.sampled_from(list(machine.states)))
+    symbol = draw(st.sampled_from([SYN, ACK]))
+    target, old_output = table[(source, symbol)]
+    new_output = draw(st.sampled_from([o for o in OUTS if o != old_output]))
+    mutated = dict(table)
+    mutated[(source, symbol)] = (target, new_output)
+    mutant = MealyMachine(0, alphabet, mutated, "mutant")
+    return machine, mutant
+
+
+@given(machine_with_mutation())
+@settings(max_examples=60, deadline=None)
+def test_w_method_suite_kills_output_mutants(pair):
+    """The W-method guarantee: any same-size machine with different
+    behaviour is caught by the suite (output mutations always change
+    behaviour at the mutated, reachable transition)."""
+    machine, mutant = pair
+    suite = machine.w_method_suite(extra_states=0)
+    killed = any(machine.run(word) != mutant.run(word) for word in suite)
+    assert killed
+
+
+@given(machine_with_mutation())
+@settings(max_examples=40, deadline=None)
+def test_dot_export_well_formed(pair):
+    machine, _ = pair
+    dot = machine.to_dot()
+    assert dot.startswith("digraph")
+    assert dot.rstrip().endswith("}")
+    assert dot.count("->") == machine.num_transitions + 1  # + start edge

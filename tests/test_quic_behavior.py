@@ -1,0 +1,136 @@
+"""Tests for the behaviour tables: shape, minimality, documented bugs."""
+
+import pytest
+
+from repro.core.alphabet import QUICSymbol, QUICOutput, quic_alphabet
+from repro.core.mealy import MealyMachine
+from repro.quic.behavior import (
+    ALL_INPUTS,
+    BehaviorCore,
+    BehaviorTable,
+    NIL,
+    google_table,
+    input_key,
+    mvfst_table,
+    quiche_table,
+    spec,
+)
+
+
+def table_to_mealy(table: BehaviorTable) -> MealyMachine:
+    """Interpret a behaviour table as a Mealy machine over the 7 inputs.
+
+    Outputs are rendered as canonical QUICOutput multisets, matching what
+    the adapter abstracts from the realized packets.
+    """
+    alphabet = quic_alphabet()
+    key_for = {
+        input_key(s.packet_type, s.frames): s for s in alphabet
+    }
+    transitions = {}
+    for state, row in table.rows.items():
+        for key, (output, target) in row.items():
+            symbol = key_for[key]
+            packets = QUICOutput.make(
+                QUICSymbol.make(p.packet_type, p.frames) for p in output
+            )
+            transitions[(state, symbol)] = (target, packets)
+    return MealyMachine(table.initial_state, alphabet, transitions, table.name)
+
+
+class TestTableShape:
+    def test_google_dimensions_match_paper(self):
+        machine = table_to_mealy(google_table())
+        assert machine.num_states == 12
+        assert machine.num_transitions == 84
+
+    def test_quiche_dimensions_match_paper(self):
+        machine = table_to_mealy(quiche_table())
+        assert machine.num_states == 8
+        assert machine.num_transitions == 56
+
+    def test_google_table_is_minimal(self):
+        machine = table_to_mealy(google_table())
+        assert machine.minimize().num_states == machine.num_states
+
+    def test_quiche_table_is_minimal(self):
+        machine = table_to_mealy(quiche_table())
+        assert machine.minimize().num_states == machine.num_states
+
+    def test_tables_are_input_complete(self):
+        for factory in (google_table, quiche_table, mvfst_table):
+            table = factory()
+            for state, row in table.rows.items():
+                assert set(row) == set(ALL_INPUTS), f"{table.name}/{state}"
+
+    def test_validation_rejects_missing_input(self):
+        rows = {"a": {ALL_INPUTS[0]: (NIL, "a")}}
+        with pytest.raises(ValueError):
+            BehaviorTable(name="bad", initial_state="a", rows=rows)
+
+    def test_validation_rejects_unknown_target(self):
+        rows = {"a": {key: (NIL, "ghost") for key in ALL_INPUTS}}
+        with pytest.raises(ValueError):
+            BehaviorTable(name="bad", initial_state="a", rows=rows)
+
+
+class TestSemantics:
+    def test_google_handshake_path(self):
+        core = BehaviorCore(google_table())
+        out1 = core.react(input_key("INITIAL", ("CRYPTO",)))
+        assert spec("SHORT", "STREAM") in out1  # 0.5-RTT push
+        out2 = core.react(input_key("HANDSHAKE", ("ACK", "CRYPTO")))
+        assert spec("SHORT", "HANDSHAKE_DONE") in out2
+        assert core.state == "g2"
+
+    def test_quiche_has_no_half_rtt_push(self):
+        core = BehaviorCore(quiche_table())
+        out1 = core.react(input_key("INITIAL", ("CRYPTO",)))
+        assert spec("SHORT", "STREAM") not in out1
+
+    def test_unknown_input_is_ignored(self):
+        core = BehaviorCore(google_table())
+        output = core.react(input_key("SHORT", ("PING",)))
+        assert output == NIL
+        assert core.state == "g0"
+
+    def test_handshake_done_violation_closes(self):
+        core = BehaviorCore(google_table())
+        core.react(input_key("INITIAL", ("CRYPTO",)))
+        output = core.react(input_key("HANDSHAKE", ("ACK", "HANDSHAKE_DONE")))
+        assert any("CONNECTION_CLOSE" in p.frames for p in output)
+        assert core.state == "g4"
+
+    def test_mvfst_flaky_state_after_close(self):
+        core = BehaviorCore(mvfst_table())
+        core.react(input_key("INITIAL", ("CRYPTO",)))
+        core.react(input_key("HANDSHAKE", ("ACK", "HANDSHAKE_DONE")))
+        assert core.is_flaky
+
+    def test_google_pn_reset_abort(self):
+        core = BehaviorCore(google_table())
+        assert core.abort_for_pn_reset()
+        assert core.state == "g4"
+
+    def test_quiche_tolerates_pn_reset(self):
+        core = BehaviorCore(quiche_table())
+        assert not core.abort_for_pn_reset()
+
+    def test_google_blocked_flow(self):
+        core = BehaviorCore(google_table())
+        core.react(input_key("INITIAL", ("CRYPTO",)))
+        core.react(input_key("HANDSHAKE", ("ACK", "CRYPTO")))
+        core.react(input_key("SHORT", ("ACK", "STREAM")))
+        blocked = core.react(input_key("SHORT", ("ACK", "STREAM")))
+        assert spec("SHORT", "ACK", "STREAM", "STREAM_DATA_BLOCKED") in blocked
+        flushed = core.react(
+            input_key("SHORT", ("ACK", "MAX_DATA", "MAX_STREAM_DATA"))
+        )
+        assert spec("SHORT", "ACK", "STREAM") in flushed
+
+    def test_models_differ_between_implementations(self):
+        from repro.analysis.equivalence import find_difference
+
+        google = table_to_mealy(google_table())
+        quiche = table_to_mealy(quiche_table())
+        assert find_difference(google, quiche) is not None

@@ -1,0 +1,182 @@
+"""Integration tests: QUIC servers + tracker client over the simulated net."""
+
+import pytest
+
+from repro.netsim import SimulatedNetwork
+from repro.quic.impls.google import google_server
+from repro.quic.impls.mvfst import mvfst_server
+from repro.quic.impls.quiche import quiche_server
+from repro.quic.impls.tracker import TrackerClient, TrackerConfig
+from repro.quic.packet import PacketType
+
+
+@pytest.fixture
+def google_stack():
+    network = SimulatedNetwork()
+    server = google_server(network)
+    client = TrackerClient(network, server.endpoint.address)
+    return network, server, client
+
+
+@pytest.fixture
+def quiche_stack():
+    network = SimulatedNetwork()
+    server = quiche_server(network)
+    client = TrackerClient(network, server.endpoint.address)
+    return network, server, client
+
+
+def kinds_of(packets):
+    return sorted((p.packet_type, p.kinds()) for p in packets)
+
+
+class TestHandshake:
+    def test_google_full_flight(self, google_stack):
+        _, _, client = google_stack
+        _, responses = client.exchange("INITIAL", ("CRYPTO",))
+        assert kinds_of(responses) == [
+            ("HANDSHAKE", ("CRYPTO",)),
+            ("HANDSHAKE", ("CRYPTO",)),
+            ("INITIAL", ("ACK", "CRYPTO")),
+            ("SHORT", ("STREAM",)),
+        ]
+        assert client.handshake_keys is not None
+        assert client.application_keys is not None
+
+    def test_quiche_flight_has_no_push(self, quiche_stack):
+        _, _, client = quiche_stack
+        _, responses = client.exchange("INITIAL", ("CRYPTO",))
+        assert ("SHORT", ("STREAM",)) not in kinds_of(responses)
+
+    def test_finished_completes_handshake(self, google_stack):
+        _, _, client = google_stack
+        client.exchange("INITIAL", ("CRYPTO",))
+        _, responses = client.exchange("HANDSHAKE", ("ACK", "CRYPTO"))
+        assert client.handshake_complete
+        assert ("SHORT", ("HANDSHAKE_DONE",)) in kinds_of(responses)
+
+    def test_short_before_keys_is_dropped(self, google_stack):
+        _, server, client = google_stack
+        _, responses = client.exchange("SHORT", ("ACK", "STREAM"))
+        assert responses == []
+        assert server.connection is None
+
+    def test_handshake_before_hello_dropped(self, google_stack):
+        _, _, client = google_stack
+        _, responses = client.exchange("HANDSHAKE", ("ACK", "CRYPTO"))
+        assert responses == []
+
+
+class TestPacketNumbers:
+    def test_server_packet_numbers_increase(self, google_stack):
+        _, _, client = google_stack
+        _, flight = client.exchange("INITIAL", ("CRYPTO",))
+        client.exchange("HANDSHAKE", ("ACK", "CRYPTO"))
+        _, acked = client.exchange("SHORT", ("ACK", "STREAM"))
+        shorts = [p for p in flight + acked if p.packet_type == "SHORT"]
+        numbers = [p.header.packet_number for p in shorts]
+        assert numbers == sorted(numbers)
+        assert len(set(numbers)) == len(numbers)
+
+    def test_duplicate_client_packet_ignored(self, google_stack):
+        network, server, client = google_stack
+        header, _ = client.build_packet("INITIAL", ("CRYPTO",))
+        from repro.quic.packet import encode_packet
+
+        client._active_endpoint.send(encode_packet(header), server.endpoint.address)
+        client._active_endpoint.send(encode_packet(header), server.endpoint.address)
+        network.run()
+        # one response flight only: 4 packets, not 8
+        assert len(client._active_endpoint.receive_all()) == 4
+
+
+class TestClose:
+    def test_client_hsdone_closes_connection(self, google_stack):
+        _, _, client = google_stack
+        client.exchange("INITIAL", ("CRYPTO",))
+        _, responses = client.exchange("HANDSHAKE", ("ACK", "HANDSHAKE_DONE"))
+        assert client.closed
+        assert any("CONNECTION_CLOSE" in p.kinds() for p in responses)
+
+    def test_quiche_close_is_single_packet(self, quiche_stack):
+        _, _, client = quiche_stack
+        client.exchange("INITIAL", ("CRYPTO",))
+        _, responses = client.exchange("HANDSHAKE", ("ACK", "HANDSHAKE_DONE"))
+        assert kinds_of(responses) == [("HANDSHAKE", ("CONNECTION_CLOSE",))]
+
+
+class TestMvfstFlakiness:
+    def test_reset_rate_near_eighty_two_percent(self):
+        network = SimulatedNetwork()
+        server = mvfst_server(network, seed=99)
+        client = TrackerClient(network, server.endpoint.address)
+        resets = 0
+        trials = 120
+        for _ in range(trials):
+            server.reset()
+            client.reset()
+            client.exchange("INITIAL", ("CRYPTO",))
+            client.exchange("HANDSHAKE", ("ACK", "HANDSHAKE_DONE"))
+            _, responses = client.exchange("SHORT", ("ACK", "HANDSHAKE_DONE"))
+            if any(p.packet_type == "STATELESS_RESET" for p in responses):
+                resets += 1
+        assert 0.70 < resets / trials < 0.94
+
+    def test_deterministic_reset_probability_one(self):
+        network = SimulatedNetwork()
+        server = mvfst_server(network, seed=99, reset_probability=1.0)
+        client = TrackerClient(network, server.endpoint.address)
+        client.exchange("INITIAL", ("CRYPTO",))
+        client.exchange("HANDSHAKE", ("ACK", "HANDSHAKE_DONE"))
+        for _ in range(5):
+            _, responses = client.exchange("SHORT", ("ACK", "HANDSHAKE_DONE"))
+            assert any(p.packet_type == "STATELESS_RESET" for p in responses)
+
+
+class TestRetry:
+    def test_retry_round_trip_establishes(self):
+        network = SimulatedNetwork()
+        server = quiche_server(network, retry_enabled=True)
+        client = TrackerClient(
+            network,
+            server.endpoint.address,
+            config=TrackerConfig(reset_pn_spaces_on_retry=False),
+        )
+        _, responses = client.exchange("INITIAL", ("CRYPTO",))
+        types = [p.packet_type for p in responses]
+        assert "RETRY" in types
+        assert "INITIAL" in types  # the post-retry server flight
+
+    def test_strict_server_aborts_on_pn_reset(self):
+        network = SimulatedNetwork()
+        server = google_server(network, retry_enabled=True)
+        client = TrackerClient(
+            network,
+            server.endpoint.address,
+            config=TrackerConfig(reset_pn_spaces_on_retry=True),
+        )
+        _, responses = client.exchange("INITIAL", ("CRYPTO",))
+        assert any("CONNECTION_CLOSE" in p.kinds() for p in responses)
+
+    def test_port_bug_prevents_establishment(self):
+        network = SimulatedNetwork()
+        server = quiche_server(network, retry_enabled=True)
+        client = TrackerClient(
+            network,
+            server.endpoint.address,
+            config=TrackerConfig(retry_port_bug=True, reset_pn_spaces_on_retry=False),
+        )
+        _, responses = client.exchange("INITIAL", ("CRYPTO",))
+        assert [p.packet_type for p in responses] == ["RETRY"]
+        assert server.connection is None
+
+
+class TestReset:
+    def test_fresh_connection_after_reset(self, google_stack):
+        _, server, client = google_stack
+        client.exchange("INITIAL", ("CRYPTO",))
+        first_scid = server.connection.scid
+        server.reset()
+        client.reset()
+        client.exchange("INITIAL", ("CRYPTO",))
+        assert server.connection.scid != first_scid

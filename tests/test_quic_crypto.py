@@ -1,0 +1,111 @@
+"""Unit and property tests for the simulated QUIC key schedule and AEAD."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quic.crypto import (
+    CryptoError,
+    address_validation_token,
+    application_keys,
+    handshake_keys,
+    initial_keys,
+    retry_integrity_tag,
+    stateless_reset_token,
+)
+
+
+class TestKeySchedule:
+    def test_initial_keys_deterministic_from_dcid(self):
+        a = initial_keys(b"\x01" * 8)
+        b = initial_keys(b"\x01" * 8)
+        assert a.client.key == b.client.key
+        assert a.server.key == b.server.key
+
+    def test_initial_keys_differ_per_dcid(self):
+        assert initial_keys(b"\x01" * 8).client.key != initial_keys(b"\x02" * 8).client.key
+
+    def test_directions_differ(self):
+        keys = initial_keys(b"\x01" * 8)
+        assert keys.client.key != keys.server.key
+
+    def test_handshake_requires_both_randoms(self):
+        a = handshake_keys(b"c" * 32, b"s" * 32)
+        b = handshake_keys(b"c" * 32, b"x" * 32)
+        assert a.client.key != b.client.key
+
+    def test_levels_are_independent(self):
+        hs = handshake_keys(b"c" * 32, b"s" * 32)
+        app = application_keys(b"c" * 32, b"s" * 32)
+        assert hs.client.key != app.client.key
+
+
+class TestSealOpen:
+    def test_roundtrip(self):
+        keys = initial_keys(b"\x07" * 8)
+        sealed = keys.client.seal(3, b"header", b"payload")
+        assert keys.client.open(3, b"header", sealed) == b"payload"
+
+    def test_wrong_key_fails(self):
+        a = initial_keys(b"\x07" * 8)
+        b = initial_keys(b"\x08" * 8)
+        sealed = a.client.seal(3, b"h", b"p")
+        with pytest.raises(CryptoError):
+            b.client.open(3, b"h", sealed)
+
+    def test_wrong_direction_fails(self):
+        keys = initial_keys(b"\x07" * 8)
+        sealed = keys.client.seal(3, b"h", b"p")
+        with pytest.raises(CryptoError):
+            keys.server.open(3, b"h", sealed)
+
+    def test_wrong_pn_fails(self):
+        keys = initial_keys(b"\x07" * 8)
+        sealed = keys.client.seal(3, b"h", b"p")
+        with pytest.raises(CryptoError):
+            keys.client.open(4, b"h", sealed)
+
+    def test_header_tamper_fails(self):
+        keys = initial_keys(b"\x07" * 8)
+        sealed = keys.client.seal(3, b"h", b"p")
+        with pytest.raises(CryptoError):
+            keys.client.open(3, b"H", sealed)
+
+    def test_ciphertext_tamper_fails(self):
+        keys = initial_keys(b"\x07" * 8)
+        sealed = bytearray(keys.client.seal(3, b"h", b"payload"))
+        sealed[0] ^= 0xFF
+        with pytest.raises(CryptoError):
+            keys.client.open(3, b"h", bytes(sealed))
+
+    def test_too_short_rejected(self):
+        keys = initial_keys(b"\x07" * 8)
+        with pytest.raises(CryptoError):
+            keys.client.open(0, b"h", b"short")
+
+
+class TestTokens:
+    def test_reset_token_deterministic(self):
+        assert stateless_reset_token(b"cid") == stateless_reset_token(b"cid")
+        assert len(stateless_reset_token(b"cid")) == 16
+
+    def test_address_token_binds_port(self):
+        # The heart of Issue 3: a token from a different port fails.
+        a = address_validation_token("client", 40400, b"")
+        b = address_validation_token("client", 55555, b"")
+        assert a != b
+
+    def test_retry_tag_binds_dcid(self):
+        assert retry_integrity_tag(b"a", b"pseudo") != retry_integrity_tag(b"b", b"pseudo")
+
+
+@given(
+    payload=st.binary(max_size=256),
+    header=st.binary(max_size=32),
+    pn=st.integers(0, 2**30),
+)
+@settings(max_examples=150, deadline=None)
+def test_seal_open_roundtrip_property(payload, header, pn):
+    keys = application_keys(b"c" * 32, b"s" * 32)
+    sealed = keys.server.seal(pn, header, payload)
+    assert keys.server.open(pn, header, sealed) == payload
+    assert len(sealed) == len(payload) + 16

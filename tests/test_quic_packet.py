@@ -1,0 +1,135 @@
+"""Unit tests for QUIC packet header encoding/decoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quic.packet import (
+    PacketError,
+    PacketHeader,
+    PacketType,
+    decode_packet,
+    encode_packet,
+    header_bytes_for_aead,
+)
+
+
+def make_header(ptype, **kwargs):
+    defaults = dict(
+        packet_type=ptype,
+        destination_cid=b"\x11" * 8,
+        source_cid=b"\x22" * 8,
+        packet_number=5,
+        payload=b"\xaa" * 24,
+    )
+    defaults.update(kwargs)
+    return PacketHeader(**defaults)
+
+
+class TestLongHeaders:
+    @pytest.mark.parametrize(
+        "ptype", [PacketType.INITIAL, PacketType.HANDSHAKE, PacketType.ZERO_RTT]
+    )
+    def test_roundtrip(self, ptype):
+        header = make_header(ptype, token=b"tok" if ptype is PacketType.INITIAL else b"")
+        decoded = decode_packet(encode_packet(header))
+        assert decoded.packet_type is ptype
+        assert decoded.destination_cid == header.destination_cid
+        assert decoded.source_cid == header.source_cid
+        assert decoded.packet_number == 5
+        assert decoded.payload == header.payload
+        if ptype is PacketType.INITIAL:
+            assert decoded.token == b"tok"
+
+    def test_initial_token_roundtrip(self):
+        header = make_header(PacketType.INITIAL, token=b"T" * 40)
+        assert decode_packet(encode_packet(header)).token == b"T" * 40
+
+    def test_bad_length_field(self):
+        header = make_header(PacketType.HANDSHAKE)
+        wire = bytearray(encode_packet(header))
+        wire = wire[: len(wire) - 10]  # truncate payload
+        with pytest.raises(PacketError):
+            decode_packet(bytes(wire))
+
+
+class TestShortHeader:
+    def test_roundtrip(self):
+        header = make_header(PacketType.SHORT, source_cid=b"")
+        decoded = decode_packet(encode_packet(header), short_cid_length=8)
+        assert decoded.packet_type is PacketType.SHORT
+        assert decoded.destination_cid == header.destination_cid
+        assert decoded.packet_number == 5
+
+
+class TestRetry:
+    def test_roundtrip_with_integrity_tag(self):
+        header = make_header(PacketType.RETRY, token=b"retry-token", payload=b"")
+        decoded = decode_packet(encode_packet(header))
+        assert decoded.packet_type is PacketType.RETRY
+        assert decoded.token == b"retry-token"
+        assert len(decoded.payload) == 16  # the integrity tag
+
+    def test_short_retry_rejected(self):
+        header = make_header(PacketType.RETRY, token=b"", payload=b"")
+        wire = encode_packet(header)[:10]
+        with pytest.raises(Exception):
+            decode_packet(wire)
+
+
+class TestStatelessReset:
+    def test_roundtrip(self):
+        header = PacketHeader(
+            packet_type=PacketType.STATELESS_RESET,
+            destination_cid=b"",
+            payload=b"\x0f" * 16,
+        )
+        decoded = decode_packet(encode_packet(header))
+        assert decoded.packet_type is PacketType.STATELESS_RESET
+        assert decoded.payload == b"\x0f" * 16
+
+
+class TestVersionNegotiation:
+    def test_roundtrip(self):
+        header = PacketHeader(
+            packet_type=PacketType.VERSION_NEGOTIATION,
+            destination_cid=b"\x01" * 8,
+            source_cid=b"\x02" * 8,
+            version=0,
+            payload=(1).to_bytes(4, "big"),
+        )
+        decoded = decode_packet(encode_packet(header))
+        assert decoded.packet_type is PacketType.VERSION_NEGOTIATION
+
+
+class TestAeadBinding:
+    def test_binding_includes_pn_and_cids(self):
+        a = make_header(PacketType.INITIAL)
+        b = make_header(PacketType.INITIAL, packet_number=6)
+        assert header_bytes_for_aead(a) != header_bytes_for_aead(b)
+
+    def test_empty_datagram_rejected(self):
+        with pytest.raises(PacketError):
+            decode_packet(b"")
+
+
+@given(
+    pn=st.integers(0, 2**32 - 1),
+    dcid=st.binary(min_size=8, max_size=8),
+    scid=st.binary(min_size=8, max_size=8),
+    payload=st.binary(min_size=1, max_size=64),
+)
+@settings(max_examples=100, deadline=None)
+def test_handshake_header_roundtrip_property(pn, dcid, scid, payload):
+    header = PacketHeader(
+        packet_type=PacketType.HANDSHAKE,
+        destination_cid=dcid,
+        source_cid=scid,
+        packet_number=pn,
+        payload=payload,
+    )
+    decoded = decode_packet(encode_packet(header))
+    assert (decoded.packet_number, decoded.destination_cid, decoded.payload) == (
+        pn,
+        dcid,
+        payload,
+    )

@@ -1,0 +1,138 @@
+"""Unit tests for the QUIC-Tracker-like reference client."""
+
+import pytest
+
+from repro.netsim import SimulatedNetwork
+from repro.quic.crypto import CryptoError
+from repro.quic.frames import (
+    AckFrame,
+    CryptoFrame,
+    HandshakeDoneFrame,
+    MaxDataFrame,
+    MaxStreamDataFrame,
+    StreamFrame,
+)
+from repro.quic.impls.quiche import quiche_server
+from repro.quic.impls.tracker import TrackerClient, TrackerConfig
+from repro.quic.packet import PacketType
+
+
+@pytest.fixture
+def stack():
+    network = SimulatedNetwork()
+    server = quiche_server(network)
+    client = TrackerClient(network, server.endpoint.address)
+    return network, server, client
+
+
+class TestConcretization:
+    def test_initial_crypto_contains_client_hello(self, stack):
+        _, _, client = stack
+        _, frames = client.build_packet("INITIAL", ("CRYPTO",))
+        crypto = next(f for f in frames if isinstance(f, CryptoFrame))
+        assert crypto.data.startswith(b"CH01")
+
+    def test_stream_frames_advance_offsets(self, stack):
+        _, _, client = stack
+        _, frames1 = client.build_packet("SHORT", ("STREAM",))
+        _, frames2 = client.build_packet("SHORT", ("STREAM",))
+        stream1 = next(f for f in frames1 if isinstance(f, StreamFrame))
+        stream2 = next(f for f in frames2 if isinstance(f, StreamFrame))
+        assert stream2.offset == stream1.offset + len(stream1.data)
+
+    def test_max_stream_data_monotonically_increases(self, stack):
+        _, _, client = stack
+        values = []
+        for _ in range(3):
+            _, frames = client.build_packet("SHORT", ("MAX_STREAM_DATA",))
+            frame = next(f for f in frames if isinstance(f, MaxStreamDataFrame))
+            values.append(frame.maximum_stream_data)
+        assert values == sorted(values)
+        assert len(set(values)) == 3
+
+    def test_packet_numbers_increase_per_space(self, stack):
+        _, _, client = stack
+        first, _ = client.build_packet("INITIAL", ("CRYPTO",))
+        second, _ = client.build_packet("INITIAL", ("CRYPTO",))
+        assert second.packet_number == first.packet_number + 1
+
+    def test_unknown_frame_kind_rejected(self, stack):
+        _, _, client = stack
+        with pytest.raises(ValueError):
+            client.build_packet("SHORT", ("RESET_STREAM",))
+
+    def test_ack_fallback_when_nothing_received(self, stack):
+        _, _, client = stack
+        _, frames = client.build_packet("SHORT", ("ACK",))
+        ack = next(f for f in frames if isinstance(f, AckFrame))
+        assert ack.largest_acknowledged == 0
+
+
+class TestFallbackKeys:
+    def test_short_before_handshake_uses_fallback(self, stack):
+        _, server, client = stack
+        header, _ = client.build_packet("SHORT", ("ACK", "STREAM"))
+        # The server cannot open this packet with real application keys.
+        assert client.application_keys is None
+        assert header.payload  # sealed with throwaway keys
+
+    def test_real_keys_after_flight(self, stack):
+        _, _, client = stack
+        client.exchange("INITIAL", ("CRYPTO",))
+        assert client.application_keys is not None
+        assert client.handshake_keys is not None
+        assert client.server_params is not None
+
+
+class TestReset:
+    def test_reset_renews_connection_identity(self, stack):
+        _, _, client = stack
+        client.exchange("INITIAL", ("CRYPTO",))
+        old_dcid = client.dcid
+        old_random = client.client_random
+        client.reset()
+        assert client.dcid != old_dcid
+        assert client.client_random != old_random
+        assert client.application_keys is None
+        assert client.retry_token is None
+        assert client.request_offset == 0
+
+    def test_reset_closes_extra_endpoints(self):
+        network = SimulatedNetwork()
+        server = quiche_server(network, retry_enabled=True)
+        client = TrackerClient(
+            network,
+            server.endpoint.address,
+            config=TrackerConfig(retry_port_bug=True, reset_pn_spaces_on_retry=False),
+        )
+        client.exchange("INITIAL", ("CRYPTO",))
+        assert client._extra_endpoints
+        client.reset()
+        assert not client._extra_endpoints
+        assert client._active_endpoint is client._main_endpoint
+
+
+class TestPacketParams:
+    def test_params_extract_numeric_fields(self, stack):
+        from repro.quic.impls.tracker import ConcretePacket
+        from repro.quic.packet import PacketHeader
+
+        packet = ConcretePacket(
+            header=PacketHeader(
+                packet_type=PacketType.SHORT,
+                destination_cid=b"\x00" * 8,
+                packet_number=7,
+            ),
+            frames=(
+                StreamFrame(stream_id=0, offset=100, data=b"xy"),
+                MaxDataFrame(maximum_data=5000),
+                HandshakeDoneFrame(),
+            ),
+        )
+        params = TrackerClient.packet_params(packet)
+        assert params == {
+            "pn": 7,
+            "stream_offset": 100,
+            "stream_len": 2,
+            "max_data": 5000,
+        }

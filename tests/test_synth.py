@@ -1,0 +1,231 @@
+"""Tests for the synthesis module: terms, constraints, solver, CEGIS."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet, TCPSymbol, parse_tcp_symbol
+from repro.core.extended import ConcreteStep
+from repro.core.mealy import mealy_from_table
+from repro.synth.constraints import INITIAL_KEY, Unknown, build_problem
+from repro.synth.solver import SearchBudgetExceeded, TraceSolver
+from repro.synth.synthesizer import synthesize, synthesize_with_cegis
+from repro.synth.terms import (
+    ConstTerm,
+    InputTerm,
+    PlusOne,
+    RegisterTerm,
+    candidate_terms,
+    mine_constants,
+    term_complexity,
+)
+
+SYN = parse_tcp_symbol("SYN(?,?,0)")
+ACK = parse_tcp_symbol("ACK(?,?,0)")
+SYNACK = parse_tcp_symbol("ACK+SYN(?,?,0)")
+NIL = parse_tcp_symbol("NIL")
+
+
+@pytest.fixture
+def skeleton():
+    """Fig. 4's sketch: s0 --ACK/NIL--> s0, s0 --SYN/ACK--> s1 loop."""
+    alphabet = Alphabet.of([SYN, ACK])
+    table = [
+        ("s0", ACK, NIL, "s0"),
+        ("s0", SYN, SYNACK, "s1"),
+        ("s1", SYN, NIL, "s1"),
+        ("s1", ACK, NIL, "s1"),
+    ]
+    return mealy_from_table("s0", alphabet, table, "fig4")
+
+
+def step(symbol, out, sn, an, **outputs):
+    return ConcreteStep(symbol, out, {"sn": sn, "an": an}, outputs)
+
+
+class TestTerms:
+    def test_evaluation(self):
+        registers = {"r": 5}
+        inputs = {"sn": 9}
+        assert RegisterTerm("r").evaluate(registers, inputs) == 5
+        assert InputTerm("sn").evaluate(registers, inputs) == 9
+        assert ConstTerm(3).evaluate(registers, inputs) == 3
+        assert PlusOne(RegisterTerm("r")).evaluate(registers, inputs) == 6
+        assert PlusOne(InputTerm("sn")).evaluate(registers, inputs) == 10
+
+    def test_rendering(self):
+        assert str(PlusOne(InputTerm("sn"))) == "sn+1"
+        assert str(ConstTerm(0)) == "0"
+
+    def test_complexity_ordering(self):
+        menu = candidate_terms(["r"], ["sn"], constants=[0])
+        complexities = [term_complexity(t) for t in menu]
+        assert complexities == sorted(complexities)
+        assert isinstance(menu[0], RegisterTerm)
+
+    def test_paper_menu_size(self):
+        # [r, r+1, pr, pr+1, pi, pi+1, sn, an] -- the 8-term list of 4.3.
+        menu = candidate_terms(
+            ["r", "pr", "pi"], ["sn", "an"], constants=(), allow_increment=True
+        )
+        assert len(menu) == 10  # 3 regs x2 + 2 inputs x2
+
+    def test_mine_constants_orders_by_frequency(self):
+        traces = [
+            [
+                ConcreteStep(SYN, SYNACK, {}, {"v": 0}),
+                ConcreteStep(SYN, SYNACK, {}, {"v": 0}),
+                ConcreteStep(SYN, SYNACK, {}, {"v": 7}),
+            ]
+        ]
+        assert mine_constants(traces, ["v"]) == [0, 7]
+
+
+class TestBuildProblem:
+    def test_unknowns_only_for_visited_transitions(self, skeleton):
+        traces = [[step(ACK, NIL, 0, 3)]]
+        problem = build_problem(skeleton, traces, register_names=("r",))
+        transitions = {u.transition for u in problem.candidates if u.kind == "update"}
+        assert transitions == {("s0", ACK)}
+
+    def test_initial_register_unknowns_present(self, skeleton):
+        traces = [[step(ACK, NIL, 0, 3)]]
+        problem = build_problem(skeleton, traces, register_names=("r",))
+        initials = [u for u in problem.candidates if u.kind == "initial"]
+        assert len(initials) == 1
+
+    def test_search_space_counts(self, skeleton):
+        traces = [[step(ACK, NIL, 0, 3)]]
+        problem = build_problem(skeleton, traces, register_names=("r",))
+        assert problem.search_space() > 1
+
+
+class TestSolver:
+    def test_fig4_synthesis(self, skeleton):
+        """The worked example of section 4.3: learn register terms.
+
+        Two registers suffice for the worked example's traces (the paper
+        uses three with Z3; our DFS solver handles two comfortably -- the
+        scaling note lives in DESIGN.md).
+        """
+        t1 = [
+            step(ACK, NIL, sn=0, an=3),
+            step(SYN, SYNACK, sn=2, an=5, o1=4, o2=5),
+        ]
+        t2 = [
+            step(SYN, SYNACK, sn=1, an=3, o1=3, o2=4),
+        ]
+        result = synthesize(skeleton, [t1, t2], register_names=("r", "pr"))
+        assert result is not None
+        machine = result.machine
+        assert machine.consistent_with(t1)
+        assert machine.consistent_with(t2)
+
+    def test_fig4_cross_register_copy_found(self, skeleton):
+        """The 2-register solution uses a genuine cross-register pattern."""
+        t1 = [
+            step(ACK, NIL, sn=0, an=3),
+            step(SYN, SYNACK, sn=2, an=5, o1=4, o2=5),
+        ]
+        t2 = [
+            step(SYN, SYNACK, sn=1, an=3, o1=3, o2=4),
+        ]
+        result = synthesize(skeleton, [t1, t2], register_names=("r", "pr"))
+        terms = {u.render(): str(t) for u, t in result.assignment.items()}
+        assert any(u.startswith("output:o1") for u in terms)
+        assert any(u.startswith("output:o2") for u in terms)
+
+    def test_unsat_detected(self, skeleton):
+        # Same transition, same inputs, contradictory outputs, no register
+        # path can explain it (single register, no inputs vary).
+        t1 = [step(SYN, SYNACK, sn=1, an=1, o1=10)]
+        t2 = [step(SYN, SYNACK, sn=1, an=1, o1=20)]
+        result = synthesize(
+            skeleton, [t1, t2], register_names=("r",), allow_increment=False
+        )
+        assert result is None
+
+    def test_budget_exceeded_raises_in_solver(self, skeleton):
+        t1 = [step(SYN, SYNACK, sn=1, an=1, o1=10)]
+        t2 = [step(SYN, SYNACK, sn=1, an=1, o1=20)]
+        problem = build_problem(skeleton, [t1, t2], register_names=("r",))
+        solver = TraceSolver(problem, [t1, t2], max_branches=2)
+        with pytest.raises(SearchBudgetExceeded):
+            solver.solve()
+
+    def test_budget_exceeded_returns_none_via_synthesize(self, skeleton):
+        t1 = [step(SYN, SYNACK, sn=1, an=1, o1=10)]
+        t2 = [step(SYN, SYNACK, sn=1, an=1, o1=20)]
+        assert (
+            synthesize(
+                skeleton, [t1, t2], register_names=("r",), max_branches=2
+            )
+            is None
+        )
+
+    def test_negative_trace_rejects_solution(self, skeleton):
+        positive = [[step(SYN, SYNACK, sn=2, an=5, o1=5)]]
+        # The observed o1 == an; forbid the machine that reproduces a
+        # different trace where o1 == an as well.
+        negative = [[step(SYN, SYNACK, sn=9, an=7, o1=7)]]
+        result = synthesize(
+            skeleton,
+            positive,
+            register_names=("r",),
+            negative_traces=negative,
+        )
+        # A solution must fit the positive trace but NOT the negative one:
+        # o1 = an is excluded, so expect e.g. the constant 5.
+        assert result is not None
+        machine = result.machine
+        assert machine.consistent_with(positive[0])
+        assert not machine.consistent_with(negative[0])
+
+
+class TestConstantDetector:
+    def test_constant_zero_detected(self, skeleton):
+        traces = [
+            [step(SYN, SYNACK, sn=i, an=i + 2, msd=0)] for i in range(3)
+        ]
+        result = synthesize(skeleton, traces, register_names=("r",))
+        assert result is not None
+        assert result.constant_output("msd") == 0
+
+    def test_varying_value_not_constant(self, skeleton):
+        traces = [
+            [step(SYN, SYNACK, sn=5, an=0, msd=5)],
+            [step(SYN, SYNACK, sn=9, an=0, msd=9)],
+        ]
+        result = synthesize(skeleton, traces, register_names=("r",))
+        assert result is not None
+        assert result.constant_output("msd") is None
+
+    def test_unmodelled_parameter_is_none(self, skeleton):
+        traces = [[step(SYN, SYNACK, sn=1, an=2, msd=0)]]
+        result = synthesize(skeleton, traces, register_names=("r",))
+        assert result.constant_output("nonexistent") is None
+
+
+class TestCegis:
+    def test_cegis_refines_with_fresh_traces(self, skeleton):
+        # Initial trace admits o1 = 7 as a constant; fresh traces with other
+        # sn values force the input-dependent solution o1 = sn + 1.
+        initial = [[step(SYN, SYNACK, sn=6, an=0, o1=7)]]
+        fresh_pool = [
+            [[step(SYN, SYNACK, sn=1, an=0, o1=2)]],
+            [[step(SYN, SYNACK, sn=3, an=0, o1=4)]],
+        ]
+
+        def provider(round_number):
+            if round_number <= len(fresh_pool):
+                return fresh_pool[round_number - 1]
+            return []
+
+        result = synthesize_with_cegis(
+            skeleton,
+            initial,
+            provider,
+            register_names=("r",),
+            max_rounds=4,
+        )
+        assert result is not None
+        for trace_set in fresh_pool:
+            assert result.machine.consistent_with(trace_set[0])

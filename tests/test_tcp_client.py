@@ -1,0 +1,99 @@
+"""Unit tests for the TCP reference client (the concretization oracle)."""
+
+import pytest
+
+from repro.netsim import SimulatedNetwork
+from repro.tcp.client import TCPClient
+from repro.tcp.segment import SEQ_MODULUS
+from repro.tcp.server import TCPServer
+
+
+@pytest.fixture
+def stack():
+    network = SimulatedNetwork()
+    server = TCPServer(network)
+    client = TCPClient(network, server.endpoint.address)
+    return network, server, client
+
+
+class TestConcretization:
+    def test_syn_uses_iss_and_zero_ack(self, stack):
+        _, _, client = stack
+        segment = client.build_segment(("SYN",), 0)
+        assert segment.seq_number == client.iss
+        assert segment.ack_number == 0
+
+    def test_ack_uses_tracked_numbers(self, stack):
+        _, _, client = stack
+        client.exchange(("SYN",), 0)
+        segment = client.build_segment(("ACK",), 0)
+        assert segment.seq_number == (client.iss + 1) % SEQ_MODULUS
+        assert segment.ack_number == client.rcv_nxt
+        assert client.rcv_nxt != 0  # learned from the SYN+ACK
+
+    def test_payload_length_respected(self, stack):
+        _, _, client = stack
+        segment = client.build_segment(("ACK", "PSH"), 1)
+        assert len(segment.payload) == 1
+
+    def test_snd_nxt_advances_for_data(self, stack):
+        _, _, client = stack
+        client.exchange(("SYN",), 0)
+        client.exchange(("ACK",), 0)
+        before = client.snd_nxt
+        client.exchange(("ACK", "PSH"), 1)
+        assert client.snd_nxt == (before + 1) % SEQ_MODULUS
+
+    def test_fin_consumes_sequence_number(self, stack):
+        _, _, client = stack
+        client.exchange(("SYN",), 0)
+        client.exchange(("ACK",), 0)
+        before = client.snd_nxt
+        client.exchange(("FIN", "ACK"), 0)
+        assert client.snd_nxt == (before + 1) % SEQ_MODULUS
+
+
+class TestStateTracking:
+    def test_reset_renews_iss(self, stack):
+        _, _, client = stack
+        old_iss = client.iss
+        client.reset()
+        assert client.iss != old_iss
+        assert client.rcv_nxt == 0
+
+    def test_reset_drops_stale_datagrams(self, stack):
+        network, server, client = stack
+        client.exchange(("SYN",), 0)
+        # Put something in flight, then reset before reading it.
+        client.endpoint.inbox.append(object())
+        client.reset()
+        assert client.endpoint.inbox == []
+
+    def test_rcv_nxt_ignores_rst(self, stack):
+        _, _, client = stack
+        _, responses = client.exchange(("ACK",), 0)  # stray ACK draws RST
+        assert responses[0].flags == frozenset({"RST"})
+        assert client.rcv_nxt == 0  # RSTs do not advance the window
+
+
+class TestExchangeSemantics:
+    def test_exchange_returns_decoded_segments(self, stack):
+        _, _, client = stack
+        sent, responses = client.exchange(("SYN",), 0)
+        assert sent.flags == frozenset({"SYN"})
+        assert len(responses) == 1
+        assert responses[0].has_flags("SYN", "ACK")
+
+    def test_full_session_numbers_line_up(self, stack):
+        """The classical sequence-number diagram of Fig. 3(a)."""
+        _, _, client = stack
+        syn, synack_list = client.exchange(("SYN",), 0)
+        synack = synack_list[0]
+        assert synack.ack_number == (syn.seq_number + 1) % SEQ_MODULUS
+
+        ack, _ = client.exchange(("ACK",), 0)
+        assert ack.seq_number == (syn.seq_number + 1) % SEQ_MODULUS
+        assert ack.ack_number == (synack.seq_number + 1) % SEQ_MODULUS
+
+        fin, finack_list = client.exchange(("FIN", "ACK"), 0)
+        assert finack_list[0].ack_number == (fin.seq_number + 1) % SEQ_MODULUS

@@ -1,0 +1,108 @@
+"""Unit and property tests for the TCP segment codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tcp.segment import (
+    SegmentError,
+    TCPSegment,
+    bits_to_flags,
+    flags_to_bits,
+)
+
+
+class TestFlags:
+    def test_roundtrip_bits(self):
+        bits = flags_to_bits(["SYN", "ACK"])
+        assert bits_to_flags(bits) == {"SYN", "ACK"}
+
+    def test_unknown_flag(self):
+        with pytest.raises(SegmentError):
+            flags_to_bits(["NOPE"])
+
+    def test_flag_string_order(self):
+        segment = TCPSegment(1, 2, 0, 0, flags=frozenset({"FIN", "ACK"}))
+        assert segment.flag_string() == "ACK+FIN"
+
+    def test_empty_flag_string(self):
+        assert TCPSegment(1, 2, 0, 0).flag_string() == "NIL"
+
+
+class TestValidation:
+    def test_port_range(self):
+        with pytest.raises(SegmentError):
+            TCPSegment(70000, 1, 0, 0)
+
+    def test_seq_range(self):
+        with pytest.raises(SegmentError):
+            TCPSegment(1, 1, 2**32, 0)
+
+    def test_has_flags_exact(self):
+        segment = TCPSegment(1, 2, 0, 0, flags=frozenset({"SYN", "ACK"}))
+        assert segment.has_flags("ACK", "SYN")
+        assert not segment.has_flags("SYN")
+
+
+class TestCodec:
+    def test_roundtrip_basic(self):
+        segment = TCPSegment(
+            source_port=40965,
+            destination_port=44344,
+            seq_number=48108,
+            ack_number=0,
+            flags=frozenset({"SYN"}),
+            window=8192,
+            payload=b"hello",
+        )
+        wire = segment.encode("client", "server")
+        decoded = TCPSegment.decode(wire, "client", "server")
+        assert decoded == segment
+
+    def test_checksum_detects_corruption(self):
+        segment = TCPSegment(1, 2, 3, 4, flags=frozenset({"ACK"}))
+        wire = bytearray(segment.encode("a", "b"))
+        wire[4] ^= 0xFF  # flip a byte of the sequence number
+        with pytest.raises(SegmentError):
+            TCPSegment.decode(bytes(wire), "a", "b")
+
+    def test_checksum_binds_hosts(self):
+        segment = TCPSegment(1, 2, 3, 4)
+        wire = segment.encode("hostA", "hostB")
+        with pytest.raises(SegmentError):
+            TCPSegment.decode(wire, "hostX", "hostB")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(SegmentError):
+            TCPSegment.decode(b"\x00" * 10)
+
+    def test_decode_without_verification(self):
+        segment = TCPSegment(1, 2, 3, 4)
+        wire = segment.encode("a", "b")
+        decoded = TCPSegment.decode(wire, "x", "y", verify_checksum=False)
+        assert decoded.seq_number == 3
+
+
+@given(
+    source_port=st.integers(0, 0xFFFF),
+    destination_port=st.integers(0, 0xFFFF),
+    seq=st.integers(0, 2**32 - 1),
+    ack=st.integers(0, 2**32 - 1),
+    window=st.integers(0, 0xFFFF),
+    payload=st.binary(max_size=64),
+    flags=st.sets(st.sampled_from(["SYN", "ACK", "FIN", "RST", "PSH", "URG"])),
+)
+@settings(max_examples=200, deadline=None)
+def test_segment_roundtrip_property(
+    source_port, destination_port, seq, ack, window, payload, flags
+):
+    segment = TCPSegment(
+        source_port=source_port,
+        destination_port=destination_port,
+        seq_number=seq,
+        ack_number=ack,
+        flags=frozenset(flags),
+        window=window,
+        payload=payload,
+    )
+    decoded = TCPSegment.decode(segment.encode("c", "s"), "c", "s")
+    assert decoded == segment

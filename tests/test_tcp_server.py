@@ -1,0 +1,162 @@
+"""Behavioural tests for the Linux-like TCP server."""
+
+import pytest
+
+from repro.netsim import SimulatedNetwork
+from repro.tcp.client import TCPClient
+from repro.tcp.server import TCPServer, TCPServerConfig, TCPState
+
+
+@pytest.fixture
+def stack():
+    network = SimulatedNetwork()
+    server = TCPServer(network)
+    client = TCPClient(network, server.endpoint.address)
+    return network, server, client
+
+
+def flags_of(responses):
+    return [r.flag_string() for r in responses]
+
+
+class TestListen:
+    def test_syn_gets_synack(self, stack):
+        _, server, client = stack
+        _, responses = client.exchange(("SYN",), 0)
+        assert flags_of(responses) == ["ACK+SYN"]
+        assert server.state is TCPState.SYN_RCVD
+
+    def test_stray_ack_gets_rst(self, stack):
+        _, server, client = stack
+        _, responses = client.exchange(("ACK",), 0)
+        assert flags_of(responses) == ["RST"]
+        assert server.state is TCPState.LISTEN
+
+    def test_rst_ignored(self, stack):
+        _, server, client = stack
+        _, responses = client.exchange(("RST",), 0)
+        assert responses == []
+
+    def test_synack_numbers(self, stack):
+        _, server, client = stack
+        sent, responses = client.exchange(("SYN",), 0)
+        assert responses[0].ack_number == (sent.seq_number + 1) % 2**32
+
+
+class TestHandshake:
+    def test_three_way_handshake(self, stack):
+        _, server, client = stack
+        client.exchange(("SYN",), 0)
+        _, responses = client.exchange(("ACK",), 0)
+        assert responses == []
+        assert server.state is TCPState.ESTABLISHED
+
+    def test_data_completes_handshake(self, stack):
+        _, server, client = stack
+        client.exchange(("SYN",), 0)
+        _, responses = client.exchange(("ACK", "PSH"), 1)
+        assert flags_of(responses) == ["ACK"]
+        assert server.state is TCPState.ESTABLISHED
+
+    def test_second_syn_aborts(self, stack):
+        _, server, client = stack
+        client.exchange(("SYN",), 0)
+        _, responses = client.exchange(("SYN",), 0)
+        assert flags_of(responses) == ["ACK+RST"]
+        assert server.state is TCPState.DEAD
+
+    def test_fin_during_syn_rcvd(self, stack):
+        _, server, client = stack
+        client.exchange(("SYN",), 0)
+        _, responses = client.exchange(("FIN", "ACK"), 0)
+        assert flags_of(responses) == ["ACK+FIN"]
+        assert server.state is TCPState.LAST_ACK
+
+
+class TestEstablished:
+    def _establish(self, client):
+        client.exchange(("SYN",), 0)
+        client.exchange(("ACK",), 0)
+
+    def test_data_is_acked_with_correct_number(self, stack):
+        _, server, client = stack
+        self._establish(client)
+        sent, responses = client.exchange(("ACK", "PSH"), 1)
+        assert flags_of(responses) == ["ACK"]
+        assert responses[0].ack_number == (sent.seq_number + 1) % 2**32
+
+    def test_challenge_ack_rate_limited(self, stack):
+        _, server, client = stack
+        self._establish(client)
+        _, first = client.exchange(("SYN",), 0)
+        assert flags_of(first) == ["ACK"]  # challenge ACK
+        _, second = client.exchange(("SYN",), 0)
+        assert second == []  # rate limiter: silence
+        assert server.state is TCPState.ESTABLISHED_NO_CREDIT
+
+    def test_data_replenishes_challenge_credit(self, stack):
+        _, server, client = stack
+        self._establish(client)
+        client.exchange(("SYN",), 0)
+        client.exchange(("ACK", "PSH"), 1)
+        _, again = client.exchange(("SYN",), 0)
+        assert flags_of(again) == ["ACK"]
+
+    def test_rate_limit_can_be_disabled(self):
+        network = SimulatedNetwork()
+        config = TCPServerConfig(challenge_ack_rate_limit=False)
+        server = TCPServer(network, config=config)
+        client = TCPClient(network, server.endpoint.address)
+        client.exchange(("SYN",), 0)
+        client.exchange(("ACK",), 0)
+        for _ in range(3):
+            _, responses = client.exchange(("SYN",), 0)
+            assert flags_of(responses) == ["ACK"]
+
+    def test_rst_kills_connection(self, stack):
+        _, server, client = stack
+        self._establish(client)
+        _, responses = client.exchange(("RST",), 0)
+        assert responses == []
+        assert server.state is TCPState.DEAD
+
+    def test_close_sequence(self, stack):
+        _, server, client = stack
+        self._establish(client)
+        _, fin_response = client.exchange(("FIN", "ACK"), 0)
+        assert flags_of(fin_response) == ["ACK+FIN"]
+        _, last = client.exchange(("ACK",), 0)
+        assert last == []
+        assert server.state is TCPState.DEAD
+
+
+class TestDead:
+    def test_everything_ignored_after_death(self, stack):
+        _, server, client = stack
+        client.exchange(("SYN",), 0)
+        client.exchange(("RST",), 0)
+        for flags, plen in [(("SYN",), 0), (("ACK",), 0), (("ACK", "PSH"), 1)]:
+            _, responses = client.exchange(flags, plen)
+            assert responses == []
+
+
+class TestReset:
+    def test_reset_returns_to_listen_with_fresh_isn(self, stack):
+        _, server, client = stack
+        client.exchange(("SYN",), 0)
+        first_iss = server.snd_nxt
+        server.reset()
+        client.reset()
+        assert server.state is TCPState.LISTEN
+        client.exchange(("SYN",), 0)
+        assert server.snd_nxt != first_iss
+
+    def test_corrupted_segment_dropped(self, stack):
+        network, server, client = stack
+        segment = client.build_segment(("SYN",), 0)
+        wire = bytearray(segment.encode("client", "server"))
+        wire[7] ^= 0xFF
+        client.endpoint.send(bytes(wire), server.endpoint.address)
+        network.run()
+        assert server.state is TCPState.LISTEN
+        assert server.segments_received == 0
