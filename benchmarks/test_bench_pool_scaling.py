@@ -1,0 +1,107 @@
+"""S1 -- Scaling: pooled batch execution vs serial, and prefix collapse.
+
+The batch-first pipeline's two levers, measured separately:
+
+* **SUL pooling** -- a latency-injected TCP adapter (0.3 ms per step,
+  standing in for the network round-trips a real closed-box SUL pays)
+  learned serially vs on a 4-worker pool.  Learned models must be
+  identical; pooled wall-clock must beat serial.
+* **Prefix collapse** -- one W-method suite submitted through the cache
+  planner with collapse on vs off: within-batch prefix-closure answers a
+  measurable share of the suite without touching the SUL.
+"""
+
+import time
+
+from conftest import report, run_once
+
+from repro.adapter.mealy_sul import MealySUL
+from repro.adapter.tcp_adapter import TCPAdapterSUL
+from repro.framework import Prognosis
+from repro.learn.cache import CachedMembershipOracle
+from repro.learn.equivalence import WMethodEquivalenceOracle
+from repro.learn.teacher import SULMembershipOracle
+
+STEP_LATENCY = 0.0003  # 0.3 ms per exchanged symbol
+POOL_WORKERS = 4
+
+
+class LatentTCPSUL(TCPAdapterSUL):
+    """TCP adapter with a per-step delay standing in for network RTT."""
+
+    def _step_impl(self, symbol):
+        time.sleep(STEP_LATENCY)
+        return super()._step_impl(symbol)
+
+
+def _learn(workers: int):
+    prognosis = Prognosis(
+        sul_factory=lambda: LatentTCPSUL(seed=3),
+        workers=workers,
+        name=f"tcp-w{workers}",
+    )
+    start = time.perf_counter()
+    try:
+        learning_report = prognosis.learn()
+    finally:
+        prognosis.close()
+    return learning_report, time.perf_counter() - start
+
+
+def test_pool_scaling_vs_serial(benchmark):
+    def run_both():
+        serial_report, serial_wall = _learn(workers=1)
+        pooled_report, pooled_wall = _learn(workers=POOL_WORKERS)
+        return serial_report, serial_wall, pooled_report, pooled_wall
+
+    serial_report, serial_wall, pooled_report, pooled_wall = run_once(
+        benchmark, run_both
+    )
+    report(
+        "S1 SUL pool scaling",
+        [
+            ("serial wall-clock", "-", f"{serial_wall:.2f}s"),
+            (f"pooled wall-clock (w={POOL_WORKERS})", "-", f"{pooled_wall:.2f}s"),
+            ("speedup", f"< {POOL_WORKERS}x", f"{serial_wall / pooled_wall:.2f}x"),
+            ("serial SUL queries", "-", serial_report.sul_queries),
+            ("pooled SUL queries", "same", pooled_report.sul_queries),
+        ],
+    )
+    # Parallelism must not change what is learned ...
+    assert serial_report.model.states == pooled_report.model.states
+    assert serial_report.counterexamples == pooled_report.counterexamples
+    assert serial_report.sul_queries == pooled_report.sul_queries
+    # ... only how fast (generous margin: CI boxes are noisy).
+    assert pooled_wall < serial_wall
+
+
+def test_prefix_collapse_reduces_sul_queries(benchmark, tcp_full):
+    model = tcp_full.model
+
+    def run_suite(collapse: bool):
+        sul = MealySUL(model)
+        oracle = CachedMembershipOracle(
+            SULMembershipOracle(sul), collapse_prefixes=collapse
+        )
+        eq = WMethodEquivalenceOracle(oracle, extra_states=1, batch_size=256)
+        assert eq.find_counterexample(model) is None
+        return eq.last_suite_size, sul.stats.queries, oracle.prefix_collapsed
+
+    def run_both():
+        return run_suite(collapse=True), run_suite(collapse=False)
+
+    (suite, with_collapse, collapsed), (_, without_collapse, _) = run_once(
+        benchmark, run_both
+    )
+    report(
+        "S1 prefix collapse (W-method suite)",
+        [
+            ("suite words", "-", suite),
+            ("SUL runs without collapse", "-", without_collapse),
+            ("SUL runs with collapse", "fewer", with_collapse),
+            ("words answered by a longer run", "-", collapsed),
+            ("saving", "-", f"{1 - with_collapse / without_collapse:.0%}"),
+        ],
+    )
+    assert with_collapse < without_collapse
+    assert collapsed == without_collapse - with_collapse

@@ -14,8 +14,9 @@ Quickstart::
     print(report.model.to_dot())     # appendix-style GraphViz rendering
 """
 
+from .adapter.pool import SULPool
 from .framework import LearningReport, Prognosis
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["LearningReport", "Prognosis", "__version__"]
+__all__ = ["LearningReport", "Prognosis", "SULPool", "__version__"]

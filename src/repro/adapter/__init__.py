@@ -1,15 +1,18 @@
-"""Adapter layer: SUL interface, packet queue, protocol adapters."""
+"""Adapter layer: SUL interface, pooling, packet queue, protocol adapters."""
 
+from .pool import BatchExecutor, SULPool
 from .queue import PacketQueue, QueuedPacket
 from .quic_adapter import QUICAdapterSUL, abstract_packet, abstract_response
 from .sul import SUL, SULStats
 from .tcp_adapter import TCPAdapterSUL, abstract_segment, segment_params
 
 __all__ = [
+    "BatchExecutor",
     "PacketQueue",
     "QUICAdapterSUL",
     "QueuedPacket",
     "SUL",
+    "SULPool",
     "SULStats",
     "TCPAdapterSUL",
     "abstract_packet",

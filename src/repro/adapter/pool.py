@@ -1,0 +1,156 @@
+"""Parallel SUL execution: a pool of identical SUL instances.
+
+Membership queries are independent of each other (each starts with a
+reset), so a batch of words can be fanned out across several SUL instances
+and executed concurrently.  :class:`SULPool` looks like a single
+:class:`~repro.adapter.sul.SUL` to the oracle stack but answers
+``query_batch`` by dispatching onto N workers built by a ``sul_factory``.
+
+Results are always returned in submission order, worker Oracle Tables are
+merged into the pool's table after every batch, and the pool's
+:class:`~repro.adapter.sul.SULStats` is the sum over all workers -- so the
+accounting the paper tables report (queries, steps, resets) is identical
+whether a run was serial or pooled.
+
+The speedup comes from queries that wait on the implementation (network
+round-trips, subprocess turnarounds): those release the GIL, so a thread
+pool scales with worker count.  Pure in-process simulations stay correct
+but gain little -- exactly the trade a closed-box tool wants, since real
+SULs are always I/O bound.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Mapping, Sequence
+
+from ..core.alphabet import AbstractSymbol
+from ..core.oracle_table import OracleEntry
+from ..core.trace import Word
+from .sul import SUL
+
+
+class BatchExecutor:
+    """Order-preserving fan-out of callables over a bounded thread pool.
+
+    A thin wrapper so the pool (and tests) have one place that owns thread
+    lifecycle; ``workers == 1`` short-circuits to a plain loop with no
+    threads at all, making the serial path byte-identical to pre-pool code.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Apply ``fn`` to every item; results in submission order."""
+        if self.workers == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="sul-pool"
+            )
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class SULPool(SUL):
+    """N identical SULs behind the single-SUL interface.
+
+    A batch is sharded deterministically: word ``i`` always runs on worker
+    ``i mod n`` (``n`` = active workers for the batch), each worker's shard
+    on its own thread.  Deterministic assignment matters beyond taste --
+    for SULs whose RNG state persists across resets (mvfst's stateless
+    resets), a timing-dependent assignment would make the observed
+    response distribution vary between identically-seeded runs.  Every
+    worker is built by the same ``sul_factory`` and must behave
+    identically, so for deterministic SULs the pool's answers do not
+    depend on the assignment at all.
+    """
+
+    def __init__(
+        self,
+        sul_factory: Callable[[], SUL],
+        workers: int = 4,
+        name: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        suls = [sul_factory() for _ in range(workers)]
+        super().__init__(suls[0].input_alphabet, name=name or f"{suls[0].name}-pool")
+        self.workers = workers
+        self._suls = suls
+        self._executor = BatchExecutor(workers)
+
+    # -- batched execution -------------------------------------------------
+    def query_batch(self, words: Sequence[Sequence[AbstractSymbol]]) -> list[Word]:
+        words = [tuple(word) for word in words]
+        if not words:
+            return []
+        shards = min(self.workers, len(words))
+
+        def run_shard(index: int) -> list[tuple[Word, OracleEntry | None]]:
+            sul = self._suls[index]
+            return [
+                (sul.query(word), sul.oracle_table.lookup(word))
+                for word in words[index::shards]
+            ]
+
+        results: list[tuple[Word, OracleEntry | None] | None] = [None] * len(words)
+        for index, shard in enumerate(
+            self._executor.map(run_shard, list(range(shards)))
+        ):
+            for position, outcome in zip(range(index, len(words), shards), shard):
+                results[position] = outcome
+        answers: list[Word] = []
+        for outputs, entry in results:  # type: ignore[misc]
+            if entry is not None:
+                self.oracle_table.merge(entry)
+            answers.append(outputs)
+        self._refresh_stats()
+        return answers
+
+    def query(self, word: Sequence[AbstractSymbol]) -> Word:
+        return self.query_batch([word])[0]
+
+    # -- single-instance interface (random walks, distribution sampling) --
+    def reset(self) -> None:
+        self._suls[0].reset()
+        self._refresh_stats()
+
+    def step(self, symbol: AbstractSymbol) -> AbstractSymbol:
+        output = self._suls[0].step(symbol)
+        self._refresh_stats()
+        return output
+
+    def _reset_impl(self) -> None:  # pragma: no cover - routed via reset()
+        self._suls[0]._reset_impl()
+
+    def _step_impl(
+        self, symbol: AbstractSymbol
+    ) -> tuple[AbstractSymbol, Mapping[str, int], Mapping[str, int]]:  # pragma: no cover
+        return self._suls[0]._step_impl(symbol)
+
+    # -- accounting --------------------------------------------------------
+    def _refresh_stats(self) -> None:
+        """The pool's stats are the sum over its workers."""
+        self.stats.queries = sum(sul.stats.queries for sul in self._suls)
+        self.stats.steps = sum(sul.stats.steps for sul in self._suls)
+        self.stats.resets = sum(sul.stats.resets for sul in self._suls)
+
+    def per_worker_queries(self) -> list[int]:
+        """Query count per worker (load-balance visibility for benchmarks)."""
+        return [sul.stats.queries for sul in self._suls]
+
+    def close(self) -> None:
+        self._executor.close()
+        for sul in self._suls:
+            close = getattr(sul, "close", None)
+            if callable(close):
+                close()

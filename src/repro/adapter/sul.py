@@ -81,3 +81,11 @@ class SUL(ABC):
             output_params.append(out_params)
         self.oracle_table.record(tuple(word), tuple(outputs), input_params, output_params)
         return tuple(outputs)
+
+    def query_batch(self, words: Sequence[Sequence[AbstractSymbol]]) -> list[Word]:
+        """Answer several membership queries; results are index-aligned.
+
+        The base implementation runs the words serially on this instance;
+        parallel backends (:class:`repro.adapter.pool.SULPool`) override it.
+        """
+        return [self.query(word) for word in words]

@@ -77,15 +77,22 @@ class OracleTable:
             )
             for i, o, ip, op in zip(inputs, outputs, input_params, output_params)
         )
-        entry = OracleEntry(abstract=abstract, steps=steps)
+        return self.merge(OracleEntry(abstract=abstract, steps=steps))
+
+    def merge(self, entry: OracleEntry) -> OracleEntry:
+        """Adopt an entry recorded by another table (e.g. a pool worker).
+
+        Same overwrite/eviction semantics as :meth:`record`.
+        """
+        key = entry.abstract.inputs
         if (
             self._max_entries is not None
-            and abstract.inputs not in self._entries
+            and key not in self._entries
             and len(self._entries) >= self._max_entries
         ):
             oldest = next(iter(self._entries))
             del self._entries[oldest]
-        self._entries[abstract.inputs] = entry
+        self._entries[key] = entry
         return entry
 
     def lookup(self, inputs: Sequence[AbstractSymbol]) -> OracleEntry | None:

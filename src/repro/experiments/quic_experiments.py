@@ -72,24 +72,27 @@ def learn_quic(
     retry_enabled: bool = False,
     tracker_config: TrackerConfig | None = None,
     nondeterminism_policy: NondeterminismPolicy | None = None,
+    workers: int = 1,
 ) -> QUICExperiment:
     """Learn one QUIC implementation's model.
 
     Raises :class:`NondeterminismError` for mvfst (with the default
-    policy), exactly as Prognosis's nondeterminism check does.
+    policy), exactly as Prognosis's nondeterminism check does.  With
+    ``workers > 1`` the query batches are fanned across a pool of
+    identically-seeded adapter instances.
     """
-    sul = make_quic_sul(
-        implementation,
-        seed=seed,
-        retry_enabled=retry_enabled,
-        tracker_config=tracker_config,
-    )
     if nondeterminism_policy is None and implementation == "mvfst":
         nondeterminism_policy = NondeterminismPolicy(
             min_repeats=3, max_repeats=8, certainty=0.95
         )
     prognosis = Prognosis(
-        sul,
+        sul_factory=lambda: make_quic_sul(
+            implementation,
+            seed=seed,
+            retry_enabled=retry_enabled,
+            tracker_config=tracker_config,
+        ),
+        workers=workers,
         learner=learner,
         extra_states=extra_states,
         nondeterminism_policy=nondeterminism_policy,

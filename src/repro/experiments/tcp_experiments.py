@@ -34,20 +34,33 @@ class TCPExperiment:
 
 
 def learn_tcp_full(
-    seed: int = 3, learner: str = "ttt", extra_states: int = 1
+    seed: int = 3, learner: str = "ttt", extra_states: int = 1, workers: int = 1
 ) -> TCPExperiment:
-    """E3: learn the 7-symbol model of the Linux-like stack."""
-    sul = TCPAdapterSUL(seed=seed)
+    """E3: learn the 7-symbol model of the Linux-like stack.
+
+    ``workers > 1`` runs the membership-query batches on a pool of
+    identically-seeded adapter instances (same learned model, parallel
+    execution).
+    """
     prognosis = Prognosis(
-        sul, learner=learner, extra_states=extra_states, name="tcp-linux"
+        sul_factory=lambda: TCPAdapterSUL(seed=seed),
+        workers=workers,
+        learner=learner,
+        extra_states=extra_states,
+        name="tcp-linux",
     )
     return TCPExperiment(prognosis=prognosis, report=prognosis.learn())
 
 
-def learn_tcp_handshake(seed: int = 3) -> TCPExperiment:
+def learn_tcp_handshake(seed: int = 3, workers: int = 1) -> TCPExperiment:
     """E1: learn the Fig. 3(b) fragment over the 2-symbol alphabet."""
-    sul = TCPAdapterSUL(alphabet=tcp_handshake_alphabet(), seed=seed)
-    prognosis = Prognosis(sul, name="tcp-handshake")
+    prognosis = Prognosis(
+        sul_factory=lambda: TCPAdapterSUL(
+            alphabet=tcp_handshake_alphabet(), seed=seed
+        ),
+        workers=workers,
+        name="tcp-handshake",
+    )
     return TCPExperiment(prognosis=prognosis, report=prognosis.learn())
 
 

@@ -9,8 +9,9 @@ use nothing else): construct a SUL, wrap it in :class:`Prognosis`, call
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal, Sequence
+from typing import Callable, Literal, Sequence
 
+from .adapter.pool import SULPool
 from .adapter.sul import SUL
 from .analysis.diff import ModelDiff, diff_models
 from .analysis.ltl import parse_ltl
@@ -47,6 +48,16 @@ class LearningReport:
     sul_resets: int
     oracle_queries: int
     cache_hit_rate: float
+    #: Words answered without a SUL run because a longer batch member
+    #: covered them (the batch planner's prefix collapse).
+    prefix_collapsed: int = 0
+    #: Duplicate words removed within batches before execution.
+    batch_deduped: int = 0
+    #: SUL instances the run executed on (1 = serial).
+    workers: int = 1
+    #: Per-equivalence-oracle accounting: words submitted and
+    #: counterexamples found, keyed by oracle name.
+    eq_attribution: dict[str, dict[str, int]] = field(default_factory=dict)
 
     @property
     def num_states(self) -> int:
@@ -67,11 +78,20 @@ class LearningReport:
 
 
 class Prognosis:
-    """The framework: a SUL plus a configured learning pipeline."""
+    """The framework: a SUL plus a configured learning pipeline.
+
+    Pass either a ready ``sul`` instance (serial execution) or a
+    ``sul_factory`` with ``workers=N`` to fan membership-query batches
+    across a :class:`~repro.adapter.pool.SULPool` of N identical
+    instances.  The factory must build instances that behave identically
+    (same seeds), so that pooled and serial runs learn the same model.
+    ``batch_size`` bounds how many words the equivalence oracles submit
+    per batch.
+    """
 
     def __init__(
         self,
-        sul: SUL,
+        sul: SUL | None = None,
         learner: LearnerKind = "ttt",
         equivalence: EqKind = "wmethod",
         extra_states: int = 1,
@@ -80,8 +100,26 @@ class Prognosis:
         random_words: int = 300,
         seed: int = 0,
         name: str | None = None,
+        workers: int = 1,
+        sul_factory: Callable[[], SUL] | None = None,
+        batch_size: int = 64,
     ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if sul_factory is not None:
+            if sul is not None:
+                raise ValueError(
+                    "pass either a sul or a sul_factory, not both"
+                )
+            sul = SULPool(sul_factory, workers=workers, name=name)
+        elif sul is None:
+            raise ValueError("Prognosis needs a sul or a sul_factory")
+        elif workers > 1:
+            raise ValueError(
+                "workers > 1 needs a sul_factory (one SUL instance per worker)"
+            )
         self.sul = sul
+        self.workers = workers
         self.name = name or sul.name
         self.base_oracle = SULMembershipOracle(sul)
         oracle = self.base_oracle
@@ -96,16 +134,22 @@ class Prognosis:
         self.oracle = oracle
 
         if equivalence == "wmethod":
-            eq = WMethodEquivalenceOracle(oracle, extra_states=extra_states)
+            eq = WMethodEquivalenceOracle(
+                oracle, extra_states=extra_states, batch_size=batch_size
+            )
         elif equivalence == "random":
-            eq = RandomWordEquivalenceOracle(oracle, num_words=random_words, seed=seed)
+            eq = RandomWordEquivalenceOracle(
+                oracle, num_words=random_words, seed=seed, batch_size=batch_size
+            )
         else:
             eq = ChainedEquivalenceOracle(
                 [
                     RandomWordEquivalenceOracle(
-                        oracle, num_words=random_words, seed=seed
+                        oracle, num_words=random_words, seed=seed, batch_size=batch_size
                     ),
-                    WMethodEquivalenceOracle(oracle, extra_states=extra_states),
+                    WMethodEquivalenceOracle(
+                        oracle, extra_states=extra_states, batch_size=batch_size
+                    ),
                 ]
             )
         self.equivalence_oracle = eq
@@ -119,6 +163,16 @@ class Prognosis:
     def learn(self) -> LearningReport:
         """Run active learning to completion and package the accounting."""
         result: LearningResult = self.learner.learn()
+        eq = self.equivalence_oracle
+        if isinstance(eq, ChainedEquivalenceOracle):
+            attribution = {name: dict(stats) for name, stats in eq.attribution.items()}
+        else:
+            attribution = {
+                getattr(eq, "name", type(eq).__name__): {
+                    "words_submitted": getattr(eq, "words_submitted", 0),
+                    "counterexamples_found": getattr(eq, "counterexamples_found", 0),
+                }
+            }
         return LearningReport(
             model=result.model,
             rounds=result.rounds,
@@ -134,7 +188,31 @@ class Prognosis:
             cache_hit_rate=(
                 self.cache_oracle.hit_rate if self.cache_oracle is not None else 0.0
             ),
+            prefix_collapsed=(
+                self.cache_oracle.prefix_collapsed
+                if self.cache_oracle is not None
+                else 0
+            ),
+            batch_deduped=(
+                self.cache_oracle.batch_deduped
+                if self.cache_oracle is not None
+                else 0
+            ),
+            workers=self.workers,
+            eq_attribution=attribution,
         )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the SUL's resources (pool threads, simulated sockets).
+
+        Safe to call on any SUL; a no-op when the SUL has no ``close``.
+        Long-running sweeps constructing many pooled ``Prognosis`` objects
+        should call this (or close the pool directly) after each run.
+        """
+        close = getattr(self.sul, "close", None)
+        if callable(close):
+            close()
 
     # ------------------------------------------------------------------
     def synthesize(

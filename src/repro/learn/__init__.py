@@ -25,6 +25,7 @@ from .teacher import (
     OracleStats,
     SULMembershipOracle,
     mq_suffix,
+    mq_suffix_batch,
 )
 from .ttt import DiscriminationTree, TTTLearner
 
@@ -54,6 +55,7 @@ __all__ = [
     "WMethodEquivalenceOracle",
     "estimate_response_distribution",
     "mq_suffix",
+    "mq_suffix_batch",
     "rivest_schapire",
     "rpni_mealy",
     "seed_cache_from_traces",

@@ -6,6 +6,13 @@ query that is a prefix of (or equal to) something already asked.  The cache
 also *detects* nondeterminism for free: a cached output conflicting with a
 fresh observation can only mean the SUL (or the abstraction) is not
 deterministic.
+
+:meth:`CachedMembershipOracle.query_batch` additionally acts as the batch
+*planner*: it dedups repeated words within a batch, answers trie hits
+without touching the SUL, and collapses words that are prefixes of other
+batch members -- prefix-closure means a single SUL run of the longer word
+answers both.  Only the surviving words are forwarded to the inner oracle
+(majority vote, SUL pool, ...) in one batch.
 """
 
 from __future__ import annotations
@@ -33,14 +40,21 @@ class CacheInconsistencyError(Exception):
 @dataclass
 class _TrieNode:
     children: dict = field(default_factory=dict)  # symbol -> (output, _TrieNode)
+    terminal: bool = False  # a stored word ends exactly here
 
 
 class QueryCache:
-    """The trie itself, usable standalone (also backs the EQ oracles)."""
+    """The trie itself, usable standalone (also backs the EQ oracles).
+
+    ``entries`` counts *stored words* (queries whose full observation was
+    inserted); ``nodes`` counts trie nodes, i.e. the number of distinct
+    (word-prefix, output) steps held.  Earlier versions conflated the two.
+    """
 
     def __init__(self) -> None:
         self._root = _TrieNode()
         self.entries = 0
+        self.nodes = 0
 
     def lookup(self, word: Sequence[AbstractSymbol]) -> Word | None:
         """Cached outputs for ``word``, or None on any cache miss."""
@@ -54,6 +68,28 @@ class QueryCache:
             outputs.append(output)
         return tuple(outputs)
 
+    def longest_cached_prefix(
+        self, word: Sequence[AbstractSymbol]
+    ) -> tuple[Word, Word]:
+        """The longest prefix of ``word`` held in the trie, with its outputs.
+
+        Returns ``(prefix, outputs)``; both are empty when not even the
+        first symbol is cached.  The batch planner uses this to see how much
+        of a word an execution would re-traverse, and callers can use it to
+        warm-start adapters that support checkpointing.
+        """
+        node = self._root
+        outputs: list[AbstractSymbol] = []
+        matched = 0
+        for symbol in word:
+            slot = node.children.get(symbol)
+            if slot is None:
+                break
+            output, node = slot
+            outputs.append(output)
+            matched += 1
+        return tuple(word[:matched]), tuple(outputs)
+
     def insert(self, word: Sequence[AbstractSymbol], outputs: Sequence[AbstractSymbol]) -> None:
         """Store an observation; raises on conflicts with cached outputs."""
         node = self._root
@@ -63,7 +99,7 @@ class QueryCache:
                 child = _TrieNode()
                 node.children[symbol] = (output, child)
                 node = child
-                self.entries += 1
+                self.nodes += 1
             else:
                 cached_output, child = slot
                 if cached_output != output:
@@ -71,22 +107,58 @@ class QueryCache:
                         tuple(word), cached_output, output
                     )
                 node = child
+        if not node.terminal:
+            node.terminal = True
+            self.entries += 1
 
     def clear(self) -> None:
         self._root = _TrieNode()
         self.entries = 0
+        self.nodes = 0
+
+
+def _drop_covered_prefixes(words: Sequence[Word]) -> list[Word]:
+    """Words from ``words`` that are not proper prefixes of another member.
+
+    One SUL execution of a word also answers every prefix of it, so only
+    the maximal words of a (deduplicated) batch need to run.  Order of the
+    survivors follows the input order.
+    """
+    trie: dict = {}
+    for word in words:
+        node = trie
+        for symbol in word:
+            node = node.setdefault(symbol, {})
+    survivors: list[Word] = []
+    for word in words:
+        node = trie
+        for symbol in word:
+            node = node[symbol]
+        if not node:  # nothing extends this word: it must run
+            survivors.append(word)
+    return survivors
 
 
 class CachedMembershipOracle:
-    """Membership oracle layer that answers from the trie when possible."""
+    """Membership oracle layer that answers from the trie when possible.
 
-    def __init__(self, inner: MembershipOracle) -> None:
+    ``collapse_prefixes`` toggles the within-batch prefix collapse (kept
+    switchable for the ablation benchmark); dedup and trie answering are
+    always on.
+    """
+
+    def __init__(
+        self, inner: MembershipOracle, collapse_prefixes: bool = True
+    ) -> None:
         self.inner = inner
         self.input_alphabet: Alphabet = inner.input_alphabet
         self.cache = QueryCache()
         self.stats = OracleStats()
+        self.collapse_prefixes = collapse_prefixes
         self.hits = 0
         self.misses = 0
+        self.batch_deduped = 0
+        self.prefix_collapsed = 0
 
     def query(self, word: Sequence[AbstractSymbol]) -> Word:
         self.stats.note(word)
@@ -98,6 +170,54 @@ class CachedMembershipOracle:
         outputs = self.inner.query(word)
         self.cache.insert(word, outputs)
         return outputs
+
+    def query_batch(self, words: Sequence[Sequence[AbstractSymbol]]) -> list[Word]:
+        words = [tuple(word) for word in words]
+        for word in words:
+            self.stats.note(word)
+        results: list[Word | None] = [None] * len(words)
+
+        # 1. Answer what the trie already knows.
+        pending: dict[Word, list[int]] = {}
+        for index, word in enumerate(words):
+            cached = self.cache.lookup(word)
+            if cached is not None:
+                self.hits += 1
+                results[index] = cached
+            else:
+                pending.setdefault(word, []).append(index)
+        if not pending:
+            return results  # type: ignore[return-value]
+
+        # 2. Dedup within the batch, then collapse words that are prefixes
+        #    of other batch members: the longer run answers both.
+        unique = list(pending)
+        self.batch_deduped += sum(
+            len(indices) for indices in pending.values()
+        ) - len(unique)
+        if self.collapse_prefixes and len(unique) > 1:
+            survivors = _drop_covered_prefixes(unique)
+            self.prefix_collapsed += len(unique) - len(survivors)
+        else:
+            survivors = unique
+
+        # 3. One inner batch for the survivors; everything else is answered
+        #    from the trie the survivors just populated.
+        answers = self.inner.query_batch(survivors)
+        for word, outputs in zip(survivors, answers):
+            self.cache.insert(word, outputs)
+        executed = set(survivors)
+        for word, indices in pending.items():
+            outputs = self.cache.lookup(word)
+            assert outputs is not None  # survivors cover every pending word
+            if word in executed:
+                self.misses += 1
+                self.hits += len(indices) - 1
+            else:
+                self.hits += len(indices)
+            for index in indices:
+                results[index] = outputs
+        return results  # type: ignore[return-value]
 
     @property
     def hit_rate(self) -> float:

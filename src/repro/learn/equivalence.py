@@ -11,14 +11,24 @@ Three strategies are provided:
   the "traces we need to check" figures of section 6.2.2);
 * :class:`ChainedEquivalenceOracle` -- run cheap oracles first.
 
-Every counterexample is shrunk to its shortest failing prefix before being
-handed to the learner.
+Suites are submitted to the membership oracle in *batches* (``batch_size``
+words at a time) rather than word-by-word, so the cache layer can dedup and
+prefix-collapse them and a SUL pool can execute them in parallel.  Words
+within a batch are still checked against the hypothesis in submission
+order, so the first counterexample found is the same one the serial loop
+would have returned.  Every counterexample is shrunk to its shortest
+failing prefix before being handed to the learner.
+
+Each oracle keeps ``words_submitted`` / ``counterexamples_found`` counters;
+:class:`ChainedEquivalenceOracle` aggregates them per sub-oracle so a
+:class:`~repro.framework.LearningReport` can attribute counterexamples to
+the strategy that found them.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from ..core.mealy import MealyMachine
 from ..core.trace import Word
@@ -33,6 +43,11 @@ def _shrink(word: Word, actual: Word, predicted: Word) -> Word:
     return word
 
 
+def _chunks(words: Sequence[Word], size: int) -> Iterator[Sequence[Word]]:
+    for start in range(0, len(words), size):
+        yield words[start : start + size]
+
+
 class RandomWordEquivalenceOracle:
     """Sample random input words and compare outputs."""
 
@@ -43,22 +58,36 @@ class RandomWordEquivalenceOracle:
         min_length: int = 2,
         max_length: int = 12,
         seed: int = 0,
+        batch_size: int = 32,
+        name: str = "random",
     ) -> None:
         self.oracle = oracle
         self.num_words = num_words
         self.min_length = min_length
         self.max_length = max_length
         self.rng = random.Random(seed)
+        self.batch_size = max(1, batch_size)
+        self.name = name
+        self.words_submitted = 0
+        self.counterexamples_found = 0
 
     def find_counterexample(self, hypothesis: MealyMachine) -> Word | None:
         symbols = list(self.oracle.input_alphabet)
-        for _ in range(self.num_words):
-            length = self.rng.randint(self.min_length, self.max_length)
-            word = tuple(self.rng.choice(symbols) for _ in range(length))
-            actual = self.oracle.query(word)
-            predicted = hypothesis.run(word)
-            if actual != predicted:
-                return _shrink(word, actual, predicted)
+        remaining = self.num_words
+        while remaining > 0:
+            count = min(self.batch_size, remaining)
+            remaining -= count
+            batch: list[Word] = []
+            for _ in range(count):
+                length = self.rng.randint(self.min_length, self.max_length)
+                batch.append(tuple(self.rng.choice(symbols) for _ in range(length)))
+            actuals = self.oracle.query_batch(batch)
+            self.words_submitted += count
+            for word, actual in zip(batch, actuals):
+                predicted = hypothesis.run(word)
+                if actual != predicted:
+                    self.counterexamples_found += 1
+                    return _shrink(word, actual, predicted)
         return None
 
 
@@ -69,32 +98,70 @@ class WMethodEquivalenceOracle:
     minimal machine has at most ``hypothesis.num_states + k`` states.
     """
 
-    def __init__(self, oracle: MembershipOracle, extra_states: int = 1) -> None:
+    def __init__(
+        self,
+        oracle: MembershipOracle,
+        extra_states: int = 1,
+        batch_size: int = 64,
+        name: str = "wmethod",
+    ) -> None:
         self.oracle = oracle
         self.extra_states = extra_states
+        self.batch_size = max(1, batch_size)
+        self.name = name
         self.last_suite_size = 0
+        self.words_submitted = 0
+        self.counterexamples_found = 0
 
     def find_counterexample(self, hypothesis: MealyMachine) -> Word | None:
         suite = hypothesis.w_method_suite(self.extra_states)
         self.last_suite_size = len(suite)
-        for word in suite:
-            actual = self.oracle.query(word)
-            predicted = hypothesis.run(word)
-            if actual != predicted:
-                return _shrink(word, actual, predicted)
+        for batch in _chunks(suite, self.batch_size):
+            actuals = self.oracle.query_batch(batch)
+            self.words_submitted += len(batch)
+            for word, actual in zip(batch, actuals):
+                predicted = hypothesis.run(word)
+                if actual != predicted:
+                    self.counterexamples_found += 1
+                    return _shrink(word, actual, predicted)
         return None
 
 
 class ChainedEquivalenceOracle:
-    """Try a sequence of oracles; first counterexample wins."""
+    """Try a sequence of oracles; first counterexample wins.
+
+    ``attribution`` accumulates, per sub-oracle, how many words it
+    submitted and how many counterexamples it found across all rounds of a
+    learning run -- the accounting the paper tables break down by testing
+    strategy.  ``last_found_by`` names the sub-oracle that produced the
+    most recent counterexample.
+    """
 
     def __init__(self, oracles: Sequence) -> None:
         self.oracles = list(oracles)
+        self._names: list[str] = []
+        for index, oracle in enumerate(self.oracles):
+            name = getattr(oracle, "name", None) or type(oracle).__name__
+            if name in self._names:
+                name = f"{name}#{index}"
+            self._names.append(name)
+        self.attribution: dict[str, dict[str, int]] = {
+            name: {"words_submitted": 0, "counterexamples_found": 0}
+            for name in self._names
+        }
+        self.last_found_by: str | None = None
 
     def find_counterexample(self, hypothesis: MealyMachine) -> Word | None:
-        for oracle in self.oracles:
+        for name, oracle in zip(self._names, self.oracles):
+            words_before = getattr(oracle, "words_submitted", 0)
             counterexample = oracle.find_counterexample(hypothesis)
+            stats = self.attribution[name]
+            stats["words_submitted"] += (
+                getattr(oracle, "words_submitted", 0) - words_before
+            )
             if counterexample is not None:
+                stats["counterexamples_found"] += 1
+                self.last_found_by = name
                 return counterexample
         return None
 
@@ -102,16 +169,29 @@ class ChainedEquivalenceOracle:
 class FixedWordsEquivalenceOracle:
     """Check a fixed word list (useful in tests and regression suites)."""
 
-    def __init__(self, oracle: MembershipOracle, words: Sequence[Word]) -> None:
+    def __init__(
+        self,
+        oracle: MembershipOracle,
+        words: Sequence[Word],
+        batch_size: int = 64,
+        name: str = "fixed",
+    ) -> None:
         self.oracle = oracle
         self.words = list(words)
+        self.batch_size = max(1, batch_size)
+        self.name = name
+        self.words_submitted = 0
+        self.counterexamples_found = 0
 
     def find_counterexample(self, hypothesis: MealyMachine) -> Word | None:
-        for word in self.words:
-            actual = self.oracle.query(word)
-            predicted = hypothesis.run(word)
-            if actual != predicted:
-                return _shrink(word, actual, predicted)
+        for batch in _chunks(self.words, self.batch_size):
+            actuals = self.oracle.query_batch(batch)
+            self.words_submitted += len(batch)
+            for word, actual in zip(batch, actuals):
+                predicted = hypothesis.run(word)
+                if actual != predicted:
+                    self.counterexamples_found += 1
+                    return _shrink(word, actual, predicted)
         return None
 
 
@@ -125,9 +205,15 @@ class PerfectEquivalenceOracle:
 
     def __init__(self, reference: MealyMachine) -> None:
         self.reference = reference
+        self.name = "perfect"
+        self.words_submitted = 0
+        self.counterexamples_found = 0
 
     def find_counterexample(self, hypothesis: MealyMachine) -> Word | None:
         from ..analysis.equivalence import find_difference
 
         difference = find_difference(self.reference, hypothesis)
-        return difference if difference is None else tuple(difference)
+        if difference is None:
+            return None
+        self.counterexamples_found += 1
+        return tuple(difference)

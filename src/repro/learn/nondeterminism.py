@@ -92,6 +92,46 @@ class MajorityVoteOracle:
         self.nondeterministic_queries += 1
         raise NondeterminismError(tuple(word), observations)
 
+    def query_batch(self, words: Sequence[Sequence[AbstractSymbol]]) -> list[Word]:
+        """Batched voting: re-execution happens in rounds over the batch.
+
+        Every round submits all still-undecided words to the inner oracle
+        as one batch (so a SUL pool keeps its workers busy even while some
+        words need extra repeats), then applies the same per-word decision
+        rule as :meth:`query`.
+        """
+        words = [tuple(word) for word in words]
+        for word in words:
+            self.stats.note(word)
+        policy = self.policy
+        observations: list[Counter] = [Counter() for _ in words]
+        resolved: dict[int, Word] = {}
+        active = list(range(len(words)))
+        attempt = 0
+        while active:
+            attempt += 1
+            answers = self.inner.query_batch([words[i] for i in active])
+            still_active: list[int] = []
+            for index, answer in zip(active, answers):
+                votes = observations[index]
+                votes[answer] += 1
+                if attempt < policy.min_repeats:
+                    still_active.append(index)
+                    continue
+                if len(votes) == 1:
+                    resolved[index] = answer
+                    continue
+                top_outputs, top_count = votes.most_common(1)[0]
+                if top_count / attempt >= policy.certainty and attempt >= 3:
+                    resolved[index] = top_outputs
+                    continue
+                if attempt >= policy.max_repeats:
+                    self.nondeterministic_queries += 1
+                    raise NondeterminismError(words[index], votes)
+                still_active.append(index)
+            active = still_active
+        return [resolved[index] for index in range(len(words))]
+
 
 def estimate_response_distribution(
     oracle: MembershipOracle,

@@ -14,7 +14,7 @@ from typing import Sequence
 from ..core.alphabet import AbstractSymbol, Alphabet
 from ..core.mealy import MealyMachine
 from ..core.trace import EPSILON, Word
-from .teacher import MembershipOracle, mq_suffix
+from .teacher import MembershipOracle, mq_suffix, mq_suffix_batch
 
 
 class ObservationTable:
@@ -42,11 +42,32 @@ class ObservationTable:
     def extended_prefixes(self) -> list[Word]:
         return [s + (a,) for s in self.short_prefixes for a in self.alphabet]
 
+    def fill(self) -> None:
+        """Batch-fill every missing cell of the table in one query batch.
+
+        Collects the (prefix, suffix) cells not yet observed -- over all
+        short prefixes and their one-step extensions -- and submits them as
+        a single batch, so the layers below can dedup, prefix-collapse and
+        parallelize instead of seeing one ``cell()`` query at a time.
+        """
+        missing = [
+            (prefix, suffix)
+            for prefix in self.short_prefixes + self.extended_prefixes()
+            for suffix in self.suffixes
+            if (prefix, suffix) not in self._cells
+        ]
+        if not missing:
+            return
+        answers = mq_suffix_batch(self.oracle, missing)
+        for key, outputs in zip(missing, answers):
+            self._cells[key] = outputs
+
     # ------------------------------------------------------------------
     # Closedness and consistency
     # ------------------------------------------------------------------
     def find_unclosed(self) -> Word | None:
         """An extension whose row matches no short prefix, or None."""
+        self.fill()
         short_rows = {self.row(s) for s in self.short_prefixes}
         for extension in self.extended_prefixes():
             if self.row(extension) not in short_rows:
@@ -60,6 +81,7 @@ class ObservationTable:
         symbol, the distinguishing suffix (symbol + old suffix) is returned
         so the caller can add it as a new column.
         """
+        self.fill()
         by_row: dict[tuple[Word, ...], list[Word]] = {}
         for prefix in self.short_prefixes:
             by_row.setdefault(self.row(prefix), []).append(prefix)

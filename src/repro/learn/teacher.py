@@ -24,11 +24,24 @@ from ..core.trace import Word
 
 
 class MembershipOracle(Protocol):
-    """Answers membership queries over abstract words."""
+    """Answers membership queries over abstract words.
+
+    Both entry points must agree: ``query_batch(words)[i]`` equals
+    ``query(words[i])`` for a deterministic SUL.  The batch form is the
+    primary one -- learners and equivalence oracles emit batches so the
+    layers below (cache planning, majority voting, SUL pooling) can dedup,
+    collapse and parallelize; ``query`` remains for inherently sequential
+    probing such as Rivest-Schapire binary search.
+    """
 
     input_alphabet: Alphabet
 
     def query(self, word: Sequence[AbstractSymbol]) -> Word:  # pragma: no cover
+        ...
+
+    def query_batch(
+        self, words: Sequence[Sequence[AbstractSymbol]]
+    ) -> list[Word]:  # pragma: no cover
         ...
 
 
@@ -65,6 +78,12 @@ class SULMembershipOracle:
         self.stats.note(word)
         return self.sul.query(word)
 
+    def query_batch(self, words: Sequence[Sequence[AbstractSymbol]]) -> list[Word]:
+        words = [tuple(word) for word in words]
+        for word in words:
+            self.stats.note(word)
+        return list(self.sul.query_batch(words))
+
 
 class CountingOracle:
     """A transparent pass-through layer that only counts (for ablations)."""
@@ -78,6 +97,12 @@ class CountingOracle:
         self.stats.note(word)
         return self.inner.query(word)
 
+    def query_batch(self, words: Sequence[Sequence[AbstractSymbol]]) -> list[Word]:
+        words = [tuple(word) for word in words]
+        for word in words:
+            self.stats.note(word)
+        return self.inner.query_batch(words)
+
 
 def mq_suffix(
     oracle: MembershipOracle, prefix: Word, suffix: Word
@@ -85,3 +110,14 @@ def mq_suffix(
     """Outputs for ``suffix`` after driving the SUL through ``prefix``."""
     outputs = oracle.query(prefix + suffix)
     return outputs[len(prefix):]
+
+
+def mq_suffix_batch(
+    oracle: MembershipOracle, pairs: Sequence[tuple[Word, Word]]
+) -> list[Word]:
+    """Batched :func:`mq_suffix`: one query batch, suffix outputs per pair."""
+    pairs = [(tuple(prefix), tuple(suffix)) for prefix, suffix in pairs]
+    answers = oracle.query_batch([prefix + suffix for prefix, suffix in pairs])
+    return [
+        tuple(outputs[len(prefix):]) for (prefix, _), outputs in zip(pairs, answers)
+    ]

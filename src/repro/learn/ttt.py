@@ -16,13 +16,14 @@ the query-complexity class, and note the simplification in DESIGN.md.)
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..core.alphabet import AbstractSymbol, Alphabet
 from ..core.mealy import MealyMachine
 from ..core.trace import EPSILON, Word
 from .counterexample import rivest_schapire
 from .lstar import LearningResult
-from .teacher import EquivalenceOracle, MembershipOracle, mq_suffix
+from .teacher import EquivalenceOracle, MembershipOracle, mq_suffix, mq_suffix_batch
 
 
 @dataclass
@@ -52,17 +53,48 @@ class DiscriminationTree:
 
     def sift(self, word: Word) -> tuple[_Leaf, bool]:
         """Walk ``word`` down the tree; returns (leaf, created_new_state)."""
-        node = self.root
-        while isinstance(node, _Inner):
-            outputs = mq_suffix(self.oracle, word, node.suffix)
-            child = node.children.get(outputs)
-            if child is None:
-                leaf = _Leaf(access=word, parent=node)
-                node.children[outputs] = leaf
-                self.leaves[word] = leaf
-                return leaf, True
-            node = child
-        return node, False
+        return self.sift_batch([word])[0]
+
+    def sift_batch(self, words: Sequence[Word]) -> list[tuple[_Leaf, bool]]:
+        """Sift many words at once, level-synchronized.
+
+        All words still at an inner node form one membership-query batch
+        per tree level, so the oracle stack below can dedup, collapse and
+        parallelize.  Within a level, words are processed in submission
+        order -- the first word to reach an inner node with a novel output
+        becomes the new leaf, exactly as it would sifting one at a time.
+        """
+        words = [tuple(word) for word in words]
+        results: list[tuple[_Leaf, bool] | None] = [None] * len(words)
+        nodes: list[_Leaf | _Inner] = [self.root] * len(words)
+        active: list[int] = []
+        for index, word in enumerate(words):
+            if isinstance(self.root, _Inner):
+                active.append(index)
+            else:
+                results[index] = (self.root, False)
+        while active:
+            answers = mq_suffix_batch(
+                self.oracle,
+                [(words[index], nodes[index].suffix) for index in active],
+            )
+            next_active: list[int] = []
+            for index, outputs in zip(active, answers):
+                word = words[index]
+                node = nodes[index]
+                child = node.children.get(outputs)
+                if child is None:
+                    leaf = _Leaf(access=word, parent=node)
+                    node.children[outputs] = leaf
+                    self.leaves[word] = leaf
+                    results[index] = (leaf, True)
+                elif isinstance(child, _Leaf):
+                    results[index] = (child, False)
+                else:
+                    nodes[index] = child
+                    next_active.append(index)
+            active = next_active
+        return results  # type: ignore[return-value]
 
     def split(self, old_leaf: _Leaf, new_access: Word, discriminator: Word) -> _Leaf:
         """Replace ``old_leaf`` with an inner node separating it from the new
@@ -130,26 +162,36 @@ class TTTLearner:
     ) -> MealyMachine:
         """Sift every transition; iterate until no new states appear.
 
-        States are identified by their access words (leaf labels).
+        States are identified by their access words (leaf labels).  All
+        transitions still missing are gathered into one sift batch (and one
+        transition-output batch) per iteration; transitions already sifted
+        stay valid when a sift discovers a new state -- new leaves only add
+        edges to the tree, they never redirect existing ones -- so only the
+        new state's own transitions remain for the next iteration instead
+        of restarting the whole leaf x symbol loop.
         """
+        transitions: dict[
+            tuple[Word, AbstractSymbol], tuple[Word, AbstractSymbol]
+        ] = {}
         while True:
-            grew = False
-            transitions: dict[
-                tuple[Word, AbstractSymbol], tuple[Word, AbstractSymbol]
-            ] = {}
-            for access in list(tree.leaves):
-                for symbol in alphabet:
-                    extended = access + (symbol,)
-                    target, created = tree.sift(extended)
-                    output = mq_suffix(self.oracle, access, (symbol,))[-1]
-                    transitions[(access, symbol)] = (target.access, output)
-                    if created:
-                        grew = True
-                        break
-                if grew:
-                    break
-            if not grew:
+            pending = [
+                (access, symbol)
+                for access in list(tree.leaves)
+                for symbol in alphabet
+                if (access, symbol) not in transitions
+            ]
+            if not pending:
                 return MealyMachine(EPSILON, alphabet, transitions, self.name)
+            extended = [access + (symbol,) for access, symbol in pending]
+            targets = tree.sift_batch(extended)
+            # The sift queries above all start with the extended word, so
+            # these transition-output lookups are trie hits (or one batch
+            # of fresh runs when the root is still a single leaf).
+            outputs = self.oracle.query_batch(extended)
+            for (access, symbol), (target, _), word_outputs in zip(
+                pending, targets, outputs
+            ):
+                transitions[(access, symbol)] = (target.access, word_outputs[-1])
 
     # ------------------------------------------------------------------
     def _process_counterexample(
