@@ -7,7 +7,6 @@ learning must abort.  Refining the abstraction restores determinism --
 the user-facing workflow the paper describes for nondeterminism reason (1).
 """
 
-import pytest
 from conftest import report, run_once
 
 from repro.experiments import learn_quic

@@ -15,12 +15,12 @@ from repro.framework import Prognosis
 
 def main() -> None:
     print("learning the Google-like implementation ...")
-    google = learn_quic("google")
-    print(" ", google.report.summary())
+    with learn_quic("google") as google:
+        print(" ", google.report.summary())
 
     print("learning the Quiche-like implementation ...")
-    quiche = learn_quic("quiche")
-    print(" ", quiche.report.summary())
+    with learn_quic("quiche") as quiche:
+        print(" ", quiche.report.summary())
 
     print()
     diff = Prognosis.compare(google.model, quiche.model, max_witnesses=3)

@@ -15,30 +15,29 @@ from repro.core.alphabet import parse_tcp_symbol
 
 def main() -> None:
     # The SUL: a simulated Linux-like TCP server plus the instrumented
-    # reference client acting as the concretization oracle.
-    sul = TCPAdapterSUL(seed=3)
-    prognosis = Prognosis(sul, name="tcp-linux")
+    # reference client acting as the concretization oracle.  The context
+    # manager releases the SUL's resources when learning is done.
+    with Prognosis(TCPAdapterSUL(seed=3), name="tcp-linux") as prognosis:
+        report = prognosis.learn()
+        print(report.summary())
+        print()
+        print(transition_table(report.model))
+        print()
 
-    report = prognosis.learn()
-    print(report.summary())
-    print()
-    print(transition_table(report.model))
-    print()
+        # Drive the learned model through the 3-way handshake (Fig. 3b).
+        syn = parse_tcp_symbol("SYN(?,?,0)")
+        ack = parse_tcp_symbol("ACK(?,?,0)")
+        outputs = report.model.run((syn, ack))
+        print(f"{syn} -> {outputs[0]}")
+        print(f"{ack} -> {outputs[1]}")
 
-    # Drive the learned model through the 3-way handshake (Fig. 3b).
-    syn = parse_tcp_symbol("SYN(?,?,0)")
-    ack = parse_tcp_symbol("ACK(?,?,0)")
-    outputs = report.model.run((syn, ack))
-    print(f"{syn} -> {outputs[0]}")
-    print(f"{ack} -> {outputs[1]}")
-
-    # Check a safety property: a reset listener never SYN+ACKs.
-    violation = prognosis.check(
-        report.model,
-        "G ((out ~ RST) -> X (out != ACK+SYN(?,?,0)))",
-        depth=6,
-    )
-    print(f"safety property: {'violated: ' + violation.render() if violation else 'holds'}")
+        # Check a safety property: a reset listener never SYN+ACKs.
+        violation = prognosis.check(
+            report.model,
+            "G ((out ~ RST) -> X (out != ACK+SYN(?,?,0)))",
+            depth=6,
+        )
+        print(f"safety property: {'violated: ' + violation.render() if violation else 'holds'}")
 
 
 if __name__ == "__main__":

@@ -13,12 +13,12 @@ from repro.experiments import learn_tcp_handshake, synthesize_handshake_register
 
 def main() -> None:
     print("learning the TCP handshake fragment ...")
-    experiment = learn_tcp_handshake()
-    print(" ", experiment.report.summary())
-    print(f"  oracle table: {len(experiment.prognosis.sul.oracle_table)} traces")
+    with learn_tcp_handshake() as experiment:
+        print(" ", experiment.report.summary())
+        print(f"  oracle table: {len(experiment.prognosis.sul.oracle_table)} traces")
 
-    print("synthesizing register terms over (sn, an) ...")
-    result = synthesize_handshake_registers(experiment)
+        print("synthesizing register terms over (sn, an) ...")
+        result = synthesize_handshake_registers(experiment)
     if result is None:
         raise SystemExit("synthesis found no consistent register machine")
 

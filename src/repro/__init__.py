@@ -8,15 +8,51 @@ Quickstart::
     from repro import Prognosis
     from repro.adapter.tcp_adapter import TCPAdapterSUL
 
-    prognosis = Prognosis(TCPAdapterSUL())
-    report = prognosis.learn()
+    with Prognosis(TCPAdapterSUL()) as prognosis:
+        report = prognosis.learn()
     print(report.summary())          # 6 states, 42 transitions
     print(report.model.to_dot())     # appendix-style GraphViz rendering
+
+Declarative (serializable specs, registry-resolved components)::
+
+    from repro import Campaign, ExperimentSpec
+
+    report = Prognosis.from_spec(ExperimentSpec(target="tcp")).learn()
+    results = Campaign.grid(
+        targets=("tcp", "quic-google"), learners=("ttt", "lstar")
+    ).run()
 """
 
 from .adapter.pool import SULPool
+from .campaign import Campaign, RunResult, run_spec
 from .framework import LearningReport, Prognosis
+from .registry import (
+    EQ_ORACLE_REGISTRY,
+    LEARNER_REGISTRY,
+    MIDDLEWARE_REGISTRY,
+    SUL_REGISTRY,
+    Registry,
+    load_builtins,
+)
+from .spec import ComponentSpec, ExperimentSpec, SpecError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["LearningReport", "Prognosis", "SULPool", "__version__"]
+__all__ = [
+    "Campaign",
+    "ComponentSpec",
+    "EQ_ORACLE_REGISTRY",
+    "ExperimentSpec",
+    "LEARNER_REGISTRY",
+    "LearningReport",
+    "MIDDLEWARE_REGISTRY",
+    "Prognosis",
+    "Registry",
+    "RunResult",
+    "SpecError",
+    "SUL_REGISTRY",
+    "SULPool",
+    "load_builtins",
+    "run_spec",
+    "__version__",
+]

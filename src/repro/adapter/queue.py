@@ -9,7 +9,7 @@ preference to building a new one from scratch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generic, Hashable, TypeVar
 
 P = TypeVar("P")

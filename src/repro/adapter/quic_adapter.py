@@ -22,10 +22,21 @@ from ..core.alphabet import (
 )
 from ..netsim import LinkConfig, PERFECT_LINK, SimulatedNetwork
 from ..quic.connection import QUICServer
+from ..quic.impls.google import google_server
+from ..quic.impls.mvfst import mvfst_server
+from ..quic.impls.quiche import quiche_server
 from ..quic.impls.tracker import ConcretePacket, TrackerClient, TrackerConfig
+from ..registry import SUL_REGISTRY
 from .sul import SUL
 
 ServerFactory = Callable[[SimulatedNetwork], QUICServer]
+
+#: Named server implementations a spec can target (``quic-<name>``).
+SERVER_FACTORIES: dict[str, Callable[..., QUICServer]] = {
+    "google": google_server,
+    "quiche": quiche_server,
+    "mvfst": mvfst_server,
+}
 
 
 def abstract_packet(packet: ConcretePacket) -> QUICSymbol:
@@ -81,3 +92,54 @@ class QUICAdapterSUL(SUL):
     def close(self) -> None:
         self.client.close()
         self.server.close()
+
+
+def build_quic_sul(
+    implementation: str,
+    seed: int = 5,
+    retry_enabled: bool = False,
+    tracker_config: TrackerConfig | dict | None = None,
+) -> QUICAdapterSUL:
+    """Build the SUL for one named QUIC server implementation.
+
+    ``tracker_config`` accepts either a :class:`TrackerConfig` or a plain
+    dict of its fields, so JSON experiment specs can configure the
+    reference client (``{"retry_port_bug": true}``).
+    """
+    try:
+        factory = SERVER_FACTORIES[implementation]
+    except KeyError:
+        known = ", ".join(sorted(SERVER_FACTORIES))
+        raise ValueError(
+            f"unknown QUIC implementation {implementation!r}; known: {known}"
+        ) from None
+    if isinstance(tracker_config, dict):
+        tracker_config = TrackerConfig(**tracker_config)
+
+    def build(network: SimulatedNetwork) -> QUICServer:
+        return factory(network, retry_enabled=retry_enabled, seed=seed + 11)
+
+    return QUICAdapterSUL(build, seed=seed, tracker_config=tracker_config)
+
+
+def _register_quic_targets() -> None:
+    for implementation in SERVER_FACTORIES:
+
+        def build(
+            seed: int = 5,
+            retry_enabled: bool = False,
+            tracker_config: TrackerConfig | dict | None = None,
+            _implementation: str = implementation,
+        ) -> QUICAdapterSUL:
+            return build_quic_sul(
+                _implementation,
+                seed=seed,
+                retry_enabled=retry_enabled,
+                tracker_config=tracker_config,
+            )
+
+        build.__doc__ = f"The simulated {implementation} QUIC server target."
+        SUL_REGISTRY.register(f"quic-{implementation}", build)
+
+
+_register_quic_targets()

@@ -10,7 +10,7 @@ sent).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..core.alphabet import AbstractSymbol, Alphabet

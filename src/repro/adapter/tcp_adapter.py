@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from ..core.alphabet import Alphabet, TCP_NIL, TCPSymbol, tcp_alphabet
+from ..core.alphabet import Alphabet, TCP_NIL, TCPSymbol, tcp_alphabet, tcp_handshake_alphabet
 from ..netsim import LinkConfig, PERFECT_LINK, SimulatedNetwork
+from ..registry import SUL_REGISTRY
 from ..tcp.client import TCPClient
 from ..tcp.segment import TCPSegment
 from ..tcp.server import TCPServer, TCPServerConfig
@@ -96,3 +97,15 @@ class TCPAdapterSUL(SUL):
     def close(self) -> None:
         self.client.close()
         self.server.close()
+
+
+@SUL_REGISTRY.register("tcp")
+def build_tcp_sul(seed: int = 3, relative_numbers: bool = True) -> TCPAdapterSUL:
+    """The full 7-symbol Linux-like TCP target (paper section 6.1)."""
+    return TCPAdapterSUL(seed=seed, relative_numbers=relative_numbers)
+
+
+@SUL_REGISTRY.register("tcp-handshake")
+def build_tcp_handshake_sul(seed: int = 3) -> TCPAdapterSUL:
+    """The 2-symbol handshake fragment of Fig. 3."""
+    return TCPAdapterSUL(alphabet=tcp_handshake_alphabet(), seed=seed)

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from ..core.alphabet import AbstractSymbol
 from ..core.mealy import MealyMachine
-from ..core.trace import Word, render_word
+from ..core.trace import Word
 from .equivalence import DifferenceWitness, difference_witness, find_difference
 
 

@@ -1,0 +1,233 @@
+"""Concurrent experiment campaigns over declarative specs.
+
+The paper's results are not one learning run but a *matrix* of them --
+four QUIC implementations x learners x testing strategies.  A
+:class:`Campaign` executes a list (or :meth:`Campaign.grid`) of
+:class:`~repro.spec.ExperimentSpec` concurrently on a thread pool and
+packages each run as a structured :class:`RunResult`, optionally writing
+artifacts (spec echo, model JSON/DOT, report JSON) to an output
+directory.
+
+Runs targeting the *same* SUL (equal :meth:`ExperimentSpec.sul_fingerprint`)
+share membership-query observations: after each run its query cache is
+merged into a per-fingerprint store, and later runs start with a copy of
+that store pre-warming their cache layer.  Sharing never changes learned
+models (a deterministic SUL answers identically either way) -- it only
+removes repeated SUL executions, which is where campaign wall-clock goes.
+
+::
+
+    campaign = Campaign.grid(
+        targets=("tcp", "quic-google"),
+        learners=("ttt", "lstar"),
+        seeds=(0, 1),
+        output_dir="runs/",
+    )
+    for result in campaign.run():
+        print(result.summary())
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from .adapter.pool import BatchExecutor
+from .core.mealy import MealyMachine
+from .framework import LearningReport, Prognosis
+from .learn.cache import CacheInconsistencyError, QueryCache
+from .registry import load_builtins
+from .spec import ExperimentSpec
+
+
+@dataclass
+class RunResult:
+    """One campaign run: the spec echo plus everything it produced.
+
+    ``error`` is set when the run failed -- e.g. a
+    :class:`~repro.learn.nondeterminism.NondeterminismError` for
+    mvfst-like targets (``report``/``model`` are then None) or an
+    artifact-write failure (learned results are kept).  A failed run
+    never aborts the campaign.
+    """
+
+    spec: ExperimentSpec
+    report: LearningReport | None
+    model: MealyMachine | None
+    error: str | None = None
+    artifact_dir: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def summary(self) -> str:
+        name = self.spec.display_name()
+        if not self.ok:
+            return f"{name}: FAILED ({self.error})"
+        report = self.report
+        return (
+            f"{name}: {report.num_states} states, "
+            f"{report.num_transitions} transitions, "
+            f"{report.sul_queries} SUL queries, "
+            f"{report.cache_hit_rate:.0%} cache hits"
+        )
+
+
+def _safe_name(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", text)
+
+
+class Campaign:
+    """Run many experiment specs, concurrently, with shared query caches.
+
+    ``workers`` bounds how many *runs* execute at once (each run may
+    additionally pool its own SUL instances via ``spec.workers``).
+    ``share_cache=False`` isolates every run -- the ablation switch the
+    cache-sharing benchmark flips.  Specs may be given as
+    :class:`~repro.spec.ExperimentSpec` instances or plain dicts.
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[ExperimentSpec | Mapping],
+        *,
+        workers: int = 1,
+        output_dir: str | Path | None = None,
+        share_cache: bool = True,
+    ) -> None:
+        self.specs = [
+            spec if isinstance(spec, ExperimentSpec) else ExperimentSpec.from_dict(spec)
+            for spec in specs
+        ]
+        if workers < 1:
+            raise ValueError(f"need at least one campaign worker, got {workers}")
+        self.workers = workers
+        self.output_dir = Path(output_dir) if output_dir is not None else None
+        self.share_cache = share_cache
+        self._caches: dict[str, QueryCache] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def grid(
+        cls,
+        targets: Sequence[str],
+        learners: Sequence[str] = ("ttt",),
+        seeds: Sequence[int] = (0,),
+        base: ExperimentSpec | None = None,
+        **campaign_kwargs,
+    ) -> "Campaign":
+        """The cartesian product ``targets x learners x seeds`` as a campaign.
+
+        ``base`` supplies everything the grid axes don't (equivalence
+        chain, middleware, target params, per-run workers); each grid cell
+        clones it.  Cells are named ``<target>-<learner>-s<seed>``.
+        """
+        template = base if base is not None else ExperimentSpec(target="toy")
+        specs = [
+            template.clone(
+                target=target,
+                learner=learner,
+                seed=seed,
+                name=f"{target}-{learner}-s{seed}",
+            )
+            for target in targets
+            for learner in learners
+            for seed in seeds
+        ]
+        return cls(specs, **campaign_kwargs)
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[RunResult]:
+        """Execute every spec; results are in spec order."""
+        load_builtins()
+        executor = BatchExecutor(self.workers)
+        try:
+            return executor.map(self._run_one, list(enumerate(self.specs)))
+        finally:
+            executor.close()
+
+    # ------------------------------------------------------------------
+    def _warm_cache(self, fingerprint: str) -> QueryCache:
+        """A fresh cache pre-loaded with the fingerprint's shared store.
+
+        Each run gets its own copy: concurrent same-fingerprint runs never
+        mutate a common trie (no locks on the hot query path), they just
+        merge what they learned back afterwards.
+        """
+        warm = QueryCache()
+        with self._lock:
+            store = self._caches.get(fingerprint)
+            if store is not None:
+                warm.merge_from(store)
+        return warm
+
+    def _absorb_cache(self, fingerprint: str, cache: QueryCache) -> None:
+        with self._lock:
+            store = self._caches.setdefault(fingerprint, QueryCache())
+            try:
+                store.merge_from(cache)
+            except CacheInconsistencyError:
+                # The SUL answered differently across runs (nondeterminism):
+                # sharing would poison future runs, so drop the store.
+                self._caches.pop(fingerprint, None)
+
+    # ------------------------------------------------------------------
+    def _run_one(self, item: tuple[int, ExperimentSpec]) -> RunResult:
+        index, spec = item
+        try:
+            spec.validate()
+            shared = None
+            if self.share_cache and any(
+                m.kind == "cache" for m in spec.middleware
+            ):
+                shared = self._warm_cache(spec.sul_fingerprint())
+            with Prognosis.from_spec(spec, shared_cache=shared) as prognosis:
+                report = prognosis.learn()
+                if shared is not None and prognosis.cache_oracle is not None:
+                    self._absorb_cache(
+                        spec.sul_fingerprint(), prognosis.cache_oracle.cache
+                    )
+        except Exception as error:  # a failed run must not sink the campaign
+            return RunResult(
+                spec=spec,
+                report=None,
+                model=None,
+                error=f"{type(error).__name__}: {error}",
+            )
+        result = RunResult(spec=spec, report=report, model=report.model)
+        if self.output_dir is not None:
+            try:
+                result.artifact_dir = str(self._write_artifacts(index, spec, report))
+            except OSError as error:
+                # Keep the learned result; only the artifact write failed.
+                result.error = f"artifact write failed: {error}"
+        return result
+
+    def _write_artifacts(
+        self, index: int, spec: ExperimentSpec, report: LearningReport
+    ) -> Path:
+        directory = self.output_dir / f"{index:03d}-{_safe_name(spec.display_name())}"
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "spec.json").write_text(spec.to_json() + "\n")
+        (directory / "model.json").write_text(
+            json.dumps(report.model.to_dict(), indent=2) + "\n"
+        )
+        (directory / "model.dot").write_text(report.model.to_dot() + "\n")
+        (directory / "report.json").write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        return directory
+
+
+def run_spec(
+    spec: ExperimentSpec | Mapping,
+    output_dir: str | Path | None = None,
+) -> RunResult:
+    """Execute a single spec (the ``repro run`` CLI entry point)."""
+    return Campaign([spec], output_dir=output_dir, share_cache=False).run()[0]

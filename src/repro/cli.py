@@ -2,11 +2,16 @@
 
 Gives the framework the shape of a releasable tool:
 
-* ``learn``      -- learn a model of a built-in SUL, print/export it
+* ``learn``      -- learn a model of a registered SUL target, print/export it
 * ``compare``    -- learn two SULs and diff their models
 * ``check``      -- model-check an LTLf property against a learned model
 * ``properties`` -- run the QUIC property suite against a learned model
 * ``issues``     -- reproduce one of the paper's four findings
+* ``run``        -- execute a declarative experiment spec (JSON file)
+* ``sweep``      -- run a campaign grid: targets x learners x seeds
+
+Target and learner choices come from the :mod:`repro.registry`
+registries, so protocols registered by plug-ins appear automatically.
 """
 
 from __future__ import annotations
@@ -15,47 +20,66 @@ import argparse
 import sys
 from typing import Sequence
 
+from .registry import LEARNER_REGISTRY, SUL_REGISTRY, load_builtins
+
+#: The classic paper targets (kept for scripts importing this tuple; the
+#: parser itself accepts every registered SUL target).
 TARGETS = ("tcp", "quic-google", "quic-quiche", "quic-mvfst")
 
 
+def _known_targets() -> tuple[str, ...]:
+    load_builtins()
+    return tuple(sorted(SUL_REGISTRY.names()))
+
+
+def _known_learners() -> tuple[str, ...]:
+    load_builtins()
+    return tuple(sorted(LEARNER_REGISTRY.names()))
+
+
 def _learn(target: str, learner: str = "ttt"):
+    """Learn one target; returns an Experiment the caller must close."""
     from .experiments import learn_quic, learn_tcp_full
 
     if target == "tcp":
         return learn_tcp_full(learner=learner)
-    implementation = target.split("-", 1)[1]
-    return learn_quic(implementation, learner=learner)
+    if target in TARGETS:
+        return learn_quic(target.split("-", 1)[1], learner=learner)
+    # Any other registered target runs through the generic spec path.
+    from .experiments.base import Experiment
+    from .spec import ExperimentSpec
+
+    return Experiment.run(ExperimentSpec(target=target, learner=learner))
 
 
 def _cmd_learn(args: argparse.Namespace) -> int:
     from .analysis.visualize import transition_table
 
-    experiment = _learn(args.target, args.learner)
-    print(experiment.report.summary())
-    if args.table:
-        print(transition_table(experiment.model))
-    if args.dot:
-        with open(args.dot, "w") as handle:
-            handle.write(experiment.model.to_dot())
-        print(f"wrote {args.dot}")
+    with _learn(args.target, args.learner) as experiment:
+        print(experiment.report.summary())
+        if args.table:
+            print(transition_table(experiment.model))
+        if args.dot:
+            with open(args.dot, "w") as handle:
+                handle.write(experiment.model.to_dot())
+            print(f"wrote {args.dot}")
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .framework import Prognosis
 
-    first = _learn(args.a)
-    second = _learn(args.b)
-    diff = Prognosis.compare(first.model, second.model)
+    with _learn(args.a) as first, _learn(args.b) as second:
+        diff = Prognosis.compare(first.model, second.model)
     print(diff.render())
     return 0 if diff.equivalent else 1
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    experiment = _learn(args.target)
-    violation = experiment.prognosis.check(
-        experiment.model, args.formula, depth=args.depth
-    )
+    with _learn(args.target) as experiment:
+        violation = experiment.prognosis.check(
+            experiment.model, args.formula, depth=args.depth
+        )
     if violation is None:
         print(f"property holds (depth {args.depth})")
         return 0
@@ -74,9 +98,11 @@ def _cmd_properties(args: argparse.Namespace) -> int:
     if not args.target.startswith("quic-"):
         print("the property suite applies to QUIC targets", file=sys.stderr)
         return 2
-    experiment = _learn(args.target)
-    properties = STANDARD_PROPERTIES + (DESIGN_PROBES if args.probes else ())
-    results = check_quic_properties(experiment.model, properties, depth=args.depth)
+    with _learn(args.target) as experiment:
+        properties = STANDARD_PROPERTIES + (DESIGN_PROBES if args.probes else ())
+        results = check_quic_properties(
+            experiment.model, properties, depth=args.depth
+        )
     print(render_results(results))
     return 0 if all(r.holds for r in results if r.property.name != "single-packet-close") else 1
 
@@ -114,16 +140,66 @@ def _cmd_issues(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .campaign import run_spec
+    from .spec import ExperimentSpec, SpecError
+
+    try:
+        with open(args.spec) as handle:
+            spec = ExperimentSpec.from_json(handle.read())
+    except (OSError, ValueError) as error:
+        print(f"cannot load spec {args.spec}: {error}", file=sys.stderr)
+        return 2
+    try:
+        spec.validate()
+    except (SpecError, KeyError) as error:
+        print(f"invalid spec: {error}", file=sys.stderr)
+        return 2
+    result = run_spec(spec, output_dir=args.out)
+    print(result.summary())
+    if result.artifact_dir:
+        print(f"artifacts: {result.artifact_dir}")
+    return 0 if result.ok else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .campaign import Campaign
+
+    try:
+        seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
+    except ValueError:
+        print(f"--seeds must be comma-separated integers, got {args.seeds!r}",
+              file=sys.stderr)
+        return 2
+    campaign = Campaign.grid(
+        targets=args.target,
+        learners=args.learner or ["ttt"],
+        seeds=seeds or [0],
+        workers=args.workers,
+        output_dir=args.out,
+        share_cache=not args.no_share_cache,
+    )
+    results = campaign.run()
+    for result in results:
+        print(result.summary())
+    failed = sum(1 for result in results if not result.ok)
+    if failed:
+        print(f"{failed}/{len(results)} runs failed", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Prognosis: closed-box protocol model learning and analysis",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    targets = _known_targets()
+    learners = _known_learners()
 
-    learn = sub.add_parser("learn", help="learn a model of a built-in SUL")
-    learn.add_argument("target", choices=TARGETS)
-    learn.add_argument("--learner", choices=("ttt", "lstar"), default="ttt")
+    learn = sub.add_parser("learn", help="learn a model of a registered SUL")
+    learn.add_argument("target", choices=targets)
+    learn.add_argument("--learner", choices=learners, default="ttt")
     learn.add_argument("--dot", help="write a GraphViz rendering to this file")
     learn.add_argument(
         "--table", action="store_true", help="print the transition table"
@@ -131,18 +207,18 @@ def build_parser() -> argparse.ArgumentParser:
     learn.set_defaults(func=_cmd_learn)
 
     compare = sub.add_parser("compare", help="diff the models of two SULs")
-    compare.add_argument("a", choices=TARGETS)
-    compare.add_argument("b", choices=TARGETS)
+    compare.add_argument("a", choices=targets)
+    compare.add_argument("b", choices=targets)
     compare.set_defaults(func=_cmd_compare)
 
     check = sub.add_parser("check", help="model-check an LTLf property")
-    check.add_argument("target", choices=TARGETS)
+    check.add_argument("target", choices=targets)
     check.add_argument("formula", help='e.g. "G (out != NIL)"')
     check.add_argument("--depth", type=int, default=6)
     check.set_defaults(func=_cmd_check)
 
     properties = sub.add_parser("properties", help="run the QUIC property suite")
-    properties.add_argument("target", choices=TARGETS)
+    properties.add_argument("target", choices=targets)
     properties.add_argument("--depth", type=int, default=5)
     properties.add_argument(
         "--probes", action="store_true", help="include design-decision probes"
@@ -152,6 +228,41 @@ def build_parser() -> argparse.ArgumentParser:
     issues = sub.add_parser("issues", help="reproduce a paper finding")
     issues.add_argument("number", type=int, choices=(1, 2, 3, 4))
     issues.set_defaults(func=_cmd_issues)
+
+    run = sub.add_parser("run", help="execute a JSON experiment spec")
+    run.add_argument("spec", help="path to an ExperimentSpec JSON file")
+    run.add_argument("--out", help="write artifacts under this directory")
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a campaign grid: targets x learners x seeds"
+    )
+    sweep.add_argument(
+        "--target",
+        action="append",
+        choices=targets,
+        required=True,
+        help="SUL target (repeatable)",
+    )
+    sweep.add_argument(
+        "--learner",
+        action="append",
+        choices=learners,
+        help="learner (repeatable; default: ttt)",
+    )
+    sweep.add_argument(
+        "--seeds", default="0", help="comma-separated EQ-oracle seeds"
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="concurrent runs"
+    )
+    sweep.add_argument("--out", help="write artifacts under this directory")
+    sweep.add_argument(
+        "--no-share-cache",
+        action="store_true",
+        help="isolate each run's query cache",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     return parser
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 
 class SymbolError(ValueError):
@@ -301,6 +301,45 @@ class Alphabet:
             return self._index[symbol]
         except KeyError:
             raise SymbolError(f"symbol not in alphabet: {symbol}") from None
+
+
+_SYMBOL_PARSERS = {
+    "tcp": lambda text: parse_tcp_symbol(text),
+    "quic": lambda text: parse_quic_symbol(text),
+    "quic-output": lambda text: parse_quic_output(text),
+    "raw": lambda text: AbstractSymbol(label=text),
+}
+
+
+def serialize_symbol(symbol: AbstractSymbol) -> dict:
+    """A JSON-able ``{"kind", "text"}`` encoding of an abstract symbol.
+
+    The ``text`` is the symbol's canonical label (exactly what the paper
+    prints), so serialized models stay human-readable; ``kind`` picks the
+    parser that reconstructs the structured symbol.
+    """
+    if isinstance(symbol, TCPSymbol):
+        kind = "tcp"
+    elif isinstance(symbol, QUICOutput):
+        kind = "quic-output"
+    elif isinstance(symbol, QUICSymbol):
+        kind = "quic"
+    else:
+        kind = "raw"
+    return {"kind": kind, "text": symbol.label}
+
+
+def deserialize_symbol(data: Mapping) -> AbstractSymbol:
+    """Inverse of :func:`serialize_symbol`."""
+    try:
+        kind, text = data["kind"], data["text"]
+    except (KeyError, TypeError):
+        raise SymbolError(f"malformed serialized symbol: {data!r}") from None
+    try:
+        parser = _SYMBOL_PARSERS[kind]
+    except KeyError:
+        raise SymbolError(f"unknown serialized symbol kind: {kind!r}") from None
+    return parser(text)
 
 
 def tcp_alphabet() -> Alphabet:

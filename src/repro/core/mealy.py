@@ -13,9 +13,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
-from .alphabet import AbstractSymbol, Alphabet
+from .alphabet import AbstractSymbol, Alphabet, deserialize_symbol, serialize_symbol
 from .trace import EPSILON, IOTrace, Word
 
 State = Hashable
@@ -300,6 +300,53 @@ class MealyMachine:
         suite = {p + m + w for p in cover for m in middles for w in w_set}
         suite.discard(EPSILON)
         return sorted(suite)
+
+    # ------------------------------------------------------------------
+    # Serialization (campaign artifacts, model exchange)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-able encoding of the machine.
+
+        States are rendered with ``str`` (learned machines use string or
+        tuple-of-symbol state names; both stringify deterministically), the
+        alphabet is serialized once, and transitions reference inputs by
+        alphabet index.  ``from_dict(to_dict())`` reconstructs a machine
+        with identical behaviour; it is byte-identical (``to_dict`` equal)
+        whenever state names are already strings, e.g. after
+        :meth:`relabel`.
+        """
+        symbols = list(self.input_alphabet)
+        return {
+            "name": self.name,
+            "initial_state": str(self.initial_state),
+            "input_alphabet": [serialize_symbol(s) for s in symbols],
+            "transitions": [
+                {
+                    "source": str(t.source),
+                    "input": symbols.index(t.input),
+                    "output": serialize_symbol(t.output),
+                    "target": str(t.target),
+                }
+                for t in self.transitions()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MealyMachine":
+        """Inverse of :meth:`to_dict`."""
+        alphabet = Alphabet.of(
+            [deserialize_symbol(s) for s in data["input_alphabet"]]
+        )
+        transitions = {
+            (row["source"], alphabet[row["input"]]): (
+                row["target"],
+                deserialize_symbol(row["output"]),
+            )
+            for row in data["transitions"]
+        }
+        return cls(
+            data["initial_state"], alphabet, transitions, name=data.get("name", "mealy")
+        )
 
     # ------------------------------------------------------------------
     # Rendering

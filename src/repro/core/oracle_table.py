@@ -9,7 +9,7 @@ synthesizer of section 4.3 mines this table to recover register behaviour
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
 
 from .alphabet import AbstractSymbol

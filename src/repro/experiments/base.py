@@ -1,0 +1,54 @@
+"""The shared shape of one finished learning run.
+
+Every experiment driver returns an :class:`Experiment`: the framework
+object (kept for synthesis and property checking) plus the
+:class:`~repro.framework.LearningReport`.  Experiments own their
+framework's resources -- use them as context managers (or call
+:meth:`Experiment.close`) so pooled SULs release worker threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.mealy import MealyMachine
+from ..framework import LearningReport, Prognosis
+from ..spec import ExperimentSpec
+
+
+@dataclass
+class Experiment:
+    """One complete learning run plus its framework object."""
+
+    prognosis: Prognosis
+    report: LearningReport
+
+    @classmethod
+    def run(cls, spec: ExperimentSpec) -> "Experiment":
+        """Build the spec's pipeline, learn, and package the result.
+
+        The SUL is released if learning raises (e.g. a
+        :class:`~repro.learn.nondeterminism.NondeterminismError`); on
+        success the caller owns the experiment and should close it.
+        """
+        prognosis = Prognosis.from_spec(spec)
+        try:
+            report = prognosis.learn()
+        except BaseException:
+            prognosis.close()
+            raise
+        return cls(prognosis=prognosis, report=report)
+
+    @property
+    def model(self) -> MealyMachine:
+        return self.report.model
+
+    def close(self) -> None:
+        """Release the underlying SUL's resources (idempotent)."""
+        self.prognosis.close()
+
+    def __enter__(self) -> "Experiment":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

@@ -8,14 +8,13 @@ small result object the benchmarks and examples assert on and print.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..analysis.diff import ModelDiff, diff_models
 from ..core.alphabet import parse_quic_symbol
 from ..framework import Prognosis
 from ..learn.nondeterminism import (
     NondeterminismError,
-    NondeterminismPolicy,
     estimate_response_distribution,
 )
 from ..learn.teacher import SULMembershipOracle
@@ -52,13 +51,13 @@ def issue1_retry_divergence(seed: int = 5) -> Issue1Result:
     subsequently fixed ("a server MAY abort the connection when a client
     resets their Packet Number Spaces").
     """
-    strict = learn_quic("google", seed=seed, retry_enabled=True)
-    lenient = learn_quic("quiche", seed=seed, retry_enabled=True)
-    return Issue1Result(
-        strict=strict,
-        lenient=lenient,
-        diff=diff_models(strict.model, lenient.model),
-    )
+    with learn_quic("google", seed=seed, retry_enabled=True) as strict, \
+            learn_quic("quiche", seed=seed, retry_enabled=True) as lenient:
+        return Issue1Result(
+            strict=strict,
+            lenient=lenient,
+            diff=diff_models(strict.model, lenient.model),
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -90,13 +89,16 @@ def issue2_nondeterminism(seed: int = 5, samples: int = 200) -> Issue2Result:
 
     # Quantify the reset rate on the paper's trigger sequence.
     sul = make_quic_sul("mvfst", seed=seed + 100)
-    oracle = SULMembershipOracle(sul)
-    word = (
-        parse_quic_symbol("INITIAL(?,?)[CRYPTO]"),
-        parse_quic_symbol("HANDSHAKE(?,?)[ACK,HANDSHAKE_DONE]"),
-        parse_quic_symbol("SHORT(?,?)[ACK,HANDSHAKE_DONE]"),
-    )
-    distribution = estimate_response_distribution(oracle, word, samples)
+    try:
+        oracle = SULMembershipOracle(sul)
+        word = (
+            parse_quic_symbol("INITIAL(?,?)[CRYPTO]"),
+            parse_quic_symbol("HANDSHAKE(?,?)[ACK,HANDSHAKE_DONE]"),
+            parse_quic_symbol("SHORT(?,?)[ACK,HANDSHAKE_DONE]"),
+        )
+        distribution = estimate_response_distribution(oracle, word, samples)
+    finally:
+        sul.close()
     resets = sum(
         count
         for outputs, count in distribution.items()
@@ -143,25 +145,24 @@ def issue3_retry_port(seed: int = 5) -> Issue3Result:
     establishment is impossible -- the discrepancy that exposed the bug in
     the *reference* implementation itself.
     """
-    buggy = learn_quic(
+    with learn_quic(
         "quiche",
         seed=seed,
         retry_enabled=True,
         tracker_config=TrackerConfig(
             retry_port_bug=True, reset_pn_spaces_on_retry=False
         ),
-    )
-    fixed = learn_quic(
+    ) as buggy, learn_quic(
         "quiche",
         seed=seed,
         retry_enabled=True,
         tracker_config=TrackerConfig(
             retry_port_bug=False, reset_pn_spaces_on_retry=False
         ),
-    )
-    return Issue3Result(
-        buggy=buggy, fixed=fixed, diff=diff_models(buggy.model, fixed.model)
-    )
+    ) as fixed:
+        return Issue3Result(
+            buggy=buggy, fixed=fixed, diff=diff_models(buggy.model, fixed.model)
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -216,8 +217,8 @@ def issue4_stream_data_blocked(seed: int = 5) -> Issue4Result:
     placeholder; the fixed server's values track live flow-control state,
     so no single constant fits them.
     """
-    buggy = learn_quic("google", seed=seed)
-    buggy_synthesis = _synthesize_sdb(buggy.prognosis, buggy.model)
+    with learn_quic("google", seed=seed) as buggy:
+        buggy_synthesis = _synthesize_sdb(buggy.prognosis, buggy.model)
 
     from ..quic.connection import QUICServer
     from ..quic.impls.google import google_profile
@@ -229,9 +230,9 @@ def issue4_stream_data_blocked(seed: int = 5) -> Issue4Result:
         return QUICServer(network, profile, seed=seed + 11)
 
     fixed_sul = QUICAdapterSUL(fixed_factory, seed=seed)
-    fixed_prognosis = Prognosis(fixed_sul, name="quic-google-fixed")
-    fixed_report = fixed_prognosis.learn()
-    fixed_synthesis = _synthesize_sdb(fixed_prognosis, fixed_report.model)
+    with Prognosis(fixed_sul, name="quic-google-fixed") as fixed_prognosis:
+        fixed_report = fixed_prognosis.learn()
+        fixed_synthesis = _synthesize_sdb(fixed_prognosis, fixed_report.model)
     return Issue4Result(
         buggy_synthesis=buggy_synthesis,
         fixed_synthesis=fixed_synthesis,

@@ -5,23 +5,21 @@ transitions (24,301 queries on the authors' setup); Quiche's has 8 states
 and 56 transitions (12,301 queries); mvfst cannot be learned
 deterministically.  The trace-space statistic: 329,554,456 traces of
 length <= 10 over the 7-symbol alphabet versus 1,210 / 715 model traces.
+
+Like the TCP drivers, these wrap :class:`~repro.spec.ExperimentSpec` runs
+against the ``quic-<implementation>`` registry targets.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import asdict, dataclass
 
-from ..adapter.quic_adapter import QUICAdapterSUL
+from ..adapter.quic_adapter import QUICAdapterSUL, build_quic_sul
 from ..analysis.statistics import TraceReduction, trace_reduction
-from ..framework import LearningReport, Prognosis
-from ..learn.nondeterminism import NondeterminismError, NondeterminismPolicy
-from ..netsim import SimulatedNetwork
-from ..quic.connection import QUICServer
-from ..quic.impls.google import google_server
-from ..quic.impls.mvfst import mvfst_server
-from ..quic.impls.quiche import quiche_server
+from ..learn.nondeterminism import NondeterminismPolicy
 from ..quic.impls.tracker import TrackerConfig
+from ..spec import ComponentSpec, ExperimentSpec
+from .base import Experiment
 
 PAPER_GOOGLE_STATES = 12
 PAPER_GOOGLE_TRANSITIONS = 84
@@ -33,21 +31,9 @@ PAPER_TOTAL_TRACES = 329_554_456
 PAPER_GOOGLE_MODEL_TRACES = 1210
 PAPER_QUICHE_MODEL_TRACES = 715
 
-SERVER_FACTORIES: dict[str, Callable[..., QUICServer]] = {
-    "google": google_server,
-    "quiche": quiche_server,
-    "mvfst": mvfst_server,
-}
-
-
 @dataclass
-class QUICExperiment:
-    prognosis: Prognosis
-    report: LearningReport
-
-    @property
-    def model(self):
-        return self.report.model
+class QUICExperiment(Experiment):
+    """One complete QUIC learning run plus its framework object."""
 
 
 def make_quic_sul(
@@ -56,12 +42,13 @@ def make_quic_sul(
     retry_enabled: bool = False,
     tracker_config: TrackerConfig | None = None,
 ) -> QUICAdapterSUL:
-    factory = SERVER_FACTORIES[implementation]
-
-    def build(network: SimulatedNetwork) -> QUICServer:
-        return factory(network, retry_enabled=retry_enabled, seed=seed + 11)
-
-    return QUICAdapterSUL(build, seed=seed, tracker_config=tracker_config)
+    """Build the SUL for one named implementation (registry-backed)."""
+    return build_quic_sul(
+        implementation,
+        seed=seed,
+        retry_enabled=retry_enabled,
+        tracker_config=tracker_config,
+    )
 
 
 def learn_quic(
@@ -85,20 +72,33 @@ def learn_quic(
         nondeterminism_policy = NondeterminismPolicy(
             min_repeats=3, max_repeats=8, certainty=0.95
         )
-    prognosis = Prognosis(
-        sul_factory=lambda: make_quic_sul(
-            implementation,
-            seed=seed,
-            retry_enabled=retry_enabled,
-            tracker_config=tracker_config,
-        ),
-        workers=workers,
-        learner=learner,
-        extra_states=extra_states,
-        nondeterminism_policy=nondeterminism_policy,
-        name=f"quic-{implementation}",
+    target_params: dict = {"seed": seed, "retry_enabled": retry_enabled}
+    if tracker_config is not None:
+        target_params["tracker_config"] = asdict(tracker_config)
+    middleware = []
+    if nondeterminism_policy is not None:
+        middleware.append(
+            ComponentSpec(
+                "majority-vote",
+                {
+                    "min_repeats": nondeterminism_policy.min_repeats,
+                    "max_repeats": nondeterminism_policy.max_repeats,
+                    "certainty": nondeterminism_policy.certainty,
+                },
+            )
+        )
+    middleware.append(ComponentSpec("cache"))
+    return QUICExperiment.run(
+        ExperimentSpec(
+            target=f"quic-{implementation}",
+            target_params=target_params,
+            learner=learner,
+            equivalence=[ComponentSpec("wmethod", {"extra_states": extra_states})],
+            middleware=middleware,
+            workers=workers,
+            name=f"quic-{implementation}",
+        )
     )
-    return QUICExperiment(prognosis=prognosis, report=prognosis.learn())
 
 
 def quic_trace_reduction(experiment: QUICExperiment) -> TraceReduction:

@@ -4,17 +4,22 @@ Paper targets: the full TCP model has 6 states and 42 transitions (learned
 with 4,726 membership queries on the authors' setup); the handshake
 fragment is Fig. 3(b); the synthesized register machine recovers
 ``r = sn + 1`` -- the server acknowledging the client's sequence number.
+
+The drivers are thin wrappers that build an
+:class:`~repro.spec.ExperimentSpec` against the ``tcp`` /
+``tcp-handshake`` registry targets and run it -- the same path ``repro
+run`` and :class:`~repro.campaign.Campaign` use.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..adapter.tcp_adapter import TCPAdapterSUL
-from ..core.alphabet import Alphabet, parse_tcp_symbol, tcp_handshake_alphabet
 from ..core.mealy import MealyMachine
-from ..framework import LearningReport, Prognosis
+from ..core.alphabet import parse_tcp_symbol
+from ..spec import ComponentSpec, ExperimentSpec
 from ..synth.synthesizer import SynthesisResult
+from .base import Experiment
 
 PAPER_TCP_STATES = 6
 PAPER_TCP_TRANSITIONS = 42
@@ -22,15 +27,8 @@ PAPER_TCP_QUERIES = 4726
 
 
 @dataclass
-class TCPExperiment:
+class TCPExperiment(Experiment):
     """One complete TCP learning run plus its framework object."""
-
-    prognosis: Prognosis
-    report: LearningReport
-
-    @property
-    def model(self) -> MealyMachine:
-        return self.report.model
 
 
 def learn_tcp_full(
@@ -42,26 +40,28 @@ def learn_tcp_full(
     identically-seeded adapter instances (same learned model, parallel
     execution).
     """
-    prognosis = Prognosis(
-        sul_factory=lambda: TCPAdapterSUL(seed=seed),
-        workers=workers,
-        learner=learner,
-        extra_states=extra_states,
-        name="tcp-linux",
+    return TCPExperiment.run(
+        ExperimentSpec(
+            target="tcp",
+            target_params={"seed": seed},
+            learner=learner,
+            equivalence=[ComponentSpec("wmethod", {"extra_states": extra_states})],
+            workers=workers,
+            name="tcp-linux",
+        )
     )
-    return TCPExperiment(prognosis=prognosis, report=prognosis.learn())
 
 
 def learn_tcp_handshake(seed: int = 3, workers: int = 1) -> TCPExperiment:
     """E1: learn the Fig. 3(b) fragment over the 2-symbol alphabet."""
-    prognosis = Prognosis(
-        sul_factory=lambda: TCPAdapterSUL(
-            alphabet=tcp_handshake_alphabet(), seed=seed
-        ),
-        workers=workers,
-        name="tcp-handshake",
+    return TCPExperiment.run(
+        ExperimentSpec(
+            target="tcp-handshake",
+            target_params={"seed": seed},
+            workers=workers,
+            name="tcp-handshake",
+        )
     )
-    return TCPExperiment(prognosis=prognosis, report=prognosis.learn())
 
 
 def synthesize_handshake_registers(

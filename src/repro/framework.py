@@ -1,9 +1,15 @@
 """The Prognosis facade: learning + synthesis + analysis in one object.
 
-This is the public API a downstream user drives (examples/ and benchmarks/
-use nothing else): construct a SUL, wrap it in :class:`Prognosis`, call
-:meth:`learn`, then hand the learned model to the analysis helpers or
-:meth:`synthesize` richer register machines from the Oracle Table.
+This is the thin, backward-compatible front of the spec API: a
+:class:`Prognosis` can be built the classic way (pass a SUL and keyword
+knobs) or from a declarative :class:`~repro.spec.ExperimentSpec`
+(:meth:`Prognosis.from_spec`); both paths assemble the identical pipeline
+through :func:`repro.spec.assemble`, so a spec run and a hand-wired run
+learn byte-identical models.  Construct, call :meth:`learn`, then hand the
+learned model to the analysis helpers or :meth:`synthesize` richer
+register machines from the Oracle Table.  ``Prognosis`` is a context
+manager; use ``with`` (or call :meth:`close`) so pooled SULs release
+their worker threads.
 """
 
 from __future__ import annotations
@@ -20,20 +26,18 @@ from .analysis.statistics import TraceReduction, trace_reduction
 from .core.extended import ConcreteStep
 from .core.mealy import MealyMachine
 from .core.trace import Word
-from .learn.cache import CachedMembershipOracle
-from .learn.equivalence import (
-    ChainedEquivalenceOracle,
-    RandomWordEquivalenceOracle,
-    WMethodEquivalenceOracle,
-)
-from .learn.lstar import LearningResult, LStarLearner
+from .learn.cache import CachedMembershipOracle, QueryCache
+from .learn.lstar import LearningResult
 from .learn.nondeterminism import MajorityVoteOracle, NondeterminismPolicy
-from .learn.teacher import SULMembershipOracle
-from .learn.ttt import TTTLearner
+from .spec import ComponentSpec, ExperimentSpec, assemble
 from .synth.synthesizer import SynthesisResult, synthesize, synthesize_with_cegis
 
 LearnerKind = Literal["ttt", "lstar"]
 EqKind = Literal["wmethod", "random", "random+wmethod"]
+
+#: The target key recorded on specs synthesized from a directly-passed SUL
+#: instance (such specs describe the pipeline but cannot rebuild the SUL).
+CUSTOM_TARGET = "<custom-sul>"
 
 
 @dataclass
@@ -76,17 +80,52 @@ class LearningReport:
             f"{self.cache_hit_rate:.0%} cache hits)"
         )
 
+    def to_dict(self) -> dict:
+        """A JSON-able accounting summary (campaign ``report.json``).
+
+        The model itself is serialized separately via
+        :meth:`~repro.core.mealy.MealyMachine.to_dict`; here only its
+        headline numbers appear.
+        """
+        return {
+            "model_name": self.model.name,
+            "num_states": self.num_states,
+            "num_transitions": self.num_transitions,
+            "rounds": self.rounds,
+            "counterexamples": [
+                [str(symbol) for symbol in word] for word in self.counterexamples
+            ],
+            "sul_queries": self.sul_queries,
+            "sul_steps": self.sul_steps,
+            "sul_resets": self.sul_resets,
+            "oracle_queries": self.oracle_queries,
+            "cache_hit_rate": self.cache_hit_rate,
+            "prefix_collapsed": self.prefix_collapsed,
+            "batch_deduped": self.batch_deduped,
+            "workers": self.workers,
+            "eq_attribution": {
+                name: dict(stats) for name, stats in self.eq_attribution.items()
+            },
+        }
+
 
 class Prognosis:
     """The framework: a SUL plus a configured learning pipeline.
 
-    Pass either a ready ``sul`` instance (serial execution) or a
-    ``sul_factory`` with ``workers=N`` to fan membership-query batches
-    across a :class:`~repro.adapter.pool.SULPool` of N identical
-    instances.  The factory must build instances that behave identically
-    (same seeds), so that pooled and serial runs learn the same model.
+    Three ways in:
+
+    * classic -- pass a ready ``sul`` instance (serial execution);
+    * pooled -- pass a ``sul_factory`` with ``workers=N`` to fan
+      membership-query batches across a
+      :class:`~repro.adapter.pool.SULPool` of N identical instances (the
+      factory must build identically-seeded instances so pooled and serial
+      runs learn the same model);
+    * declarative -- :meth:`from_spec` resolves every component from the
+      registries, which is what campaigns and the ``repro run`` CLI use.
+
     ``batch_size`` bounds how many words the equivalence oracles submit
-    per batch.
+    per batch.  The object is a context manager; leaving the ``with``
+    block releases pooled worker threads and simulated sockets.
     """
 
     def __init__(
@@ -103,76 +142,126 @@ class Prognosis:
         workers: int = 1,
         sul_factory: Callable[[], SUL] | None = None,
         batch_size: int = 64,
+        *,
+        spec: ExperimentSpec | None = None,
+        shared_cache: QueryCache | None = None,
     ) -> None:
-        if workers < 1:
-            raise ValueError(f"need at least one worker, got {workers}")
-        if sul_factory is not None:
-            if sul is not None:
+        if spec is not None:
+            if sul is not None or sul_factory is not None:
+                raise ValueError("pass either a spec or a sul/sul_factory, not both")
+            self.spec = spec.validate()
+            pipeline = assemble(spec, shared_cache=shared_cache)
+        else:
+            if workers < 1:
+                raise ValueError(f"need at least one worker, got {workers}")
+            if sul_factory is not None:
+                if sul is not None:
+                    raise ValueError(
+                        "pass either a sul or a sul_factory, not both"
+                    )
+                sul = SULPool(sul_factory, workers=workers, name=name)
+            elif sul is None:
+                raise ValueError("Prognosis needs a sul or a sul_factory")
+            elif workers > 1:
                 raise ValueError(
-                    "pass either a sul or a sul_factory, not both"
+                    "workers > 1 needs a sul_factory (one SUL instance per worker)"
                 )
-            sul = SULPool(sul_factory, workers=workers, name=name)
-        elif sul is None:
-            raise ValueError("Prognosis needs a sul or a sul_factory")
-        elif workers > 1:
-            raise ValueError(
-                "workers > 1 needs a sul_factory (one SUL instance per worker)"
+            self.spec = self._legacy_spec(
+                learner=learner,
+                equivalence=equivalence,
+                extra_states=extra_states,
+                use_cache=use_cache,
+                nondeterminism_policy=nondeterminism_policy,
+                random_words=random_words,
+                seed=seed,
+                name=name,
+                workers=workers,
+                batch_size=batch_size,
             )
-        self.sul = sul
-        self.workers = workers
-        self.name = name or sul.name
-        self.base_oracle = SULMembershipOracle(sul)
-        oracle = self.base_oracle
-        self.majority_oracle: MajorityVoteOracle | None = None
-        if nondeterminism_policy is not None:
-            self.majority_oracle = MajorityVoteOracle(oracle, nondeterminism_policy)
-            oracle = self.majority_oracle
-        self.cache_oracle: CachedMembershipOracle | None = None
-        if use_cache:
-            self.cache_oracle = CachedMembershipOracle(oracle)
-            oracle = self.cache_oracle
-        self.oracle = oracle
+            pipeline = assemble(self.spec, sul=sul, shared_cache=shared_cache)
 
+        self.sul = pipeline.sul
+        self.workers = self.spec.workers
+        self.name = self.spec.name or pipeline.sul.name
+        self.base_oracle = pipeline.base_oracle
+        self.oracle = pipeline.oracle
+        self.middleware = pipeline.middleware
+        self.cache_oracle: CachedMembershipOracle | None = next(
+            (m for m in pipeline.middleware if isinstance(m, CachedMembershipOracle)),
+            None,
+        )
+        self.majority_oracle: MajorityVoteOracle | None = next(
+            (m for m in pipeline.middleware if isinstance(m, MajorityVoteOracle)),
+            None,
+        )
+        self.equivalence_oracle = pipeline.equivalence_oracle
+        self.learner = pipeline.learner
+
+    @staticmethod
+    def _legacy_spec(
+        *,
+        learner: str,
+        equivalence: str,
+        extra_states: int,
+        use_cache: bool,
+        nondeterminism_policy: NondeterminismPolicy | None,
+        random_words: int,
+        seed: int,
+        name: str | None,
+        workers: int,
+        batch_size: int,
+    ) -> ExperimentSpec:
+        """Translate the classic keyword knobs into spec component lists."""
+        wmethod = ComponentSpec("wmethod", {"extra_states": extra_states})
+        random = ComponentSpec("random", {"num_words": random_words})
         if equivalence == "wmethod":
-            eq = WMethodEquivalenceOracle(
-                oracle, extra_states=extra_states, batch_size=batch_size
-            )
+            eq_chain = [wmethod]
         elif equivalence == "random":
-            eq = RandomWordEquivalenceOracle(
-                oracle, num_words=random_words, seed=seed, batch_size=batch_size
+            eq_chain = [random]
+        else:  # "random+wmethod" (and historically any other value)
+            eq_chain = [random, wmethod]
+        middleware = []
+        if nondeterminism_policy is not None:
+            middleware.append(
+                ComponentSpec(
+                    "majority-vote",
+                    {
+                        "min_repeats": nondeterminism_policy.min_repeats,
+                        "max_repeats": nondeterminism_policy.max_repeats,
+                        "certainty": nondeterminism_policy.certainty,
+                    },
+                )
             )
-        else:
-            eq = ChainedEquivalenceOracle(
-                [
-                    RandomWordEquivalenceOracle(
-                        oracle, num_words=random_words, seed=seed, batch_size=batch_size
-                    ),
-                    WMethodEquivalenceOracle(
-                        oracle, extra_states=extra_states, batch_size=batch_size
-                    ),
-                ]
-            )
-        self.equivalence_oracle = eq
+        if use_cache:
+            middleware.append(ComponentSpec("cache"))
+        return ExperimentSpec(
+            target=CUSTOM_TARGET,
+            learner=learner,
+            equivalence=eq_chain,
+            middleware=middleware,
+            workers=workers,
+            seed=seed,
+            batch_size=batch_size,
+            name=name,
+        )
 
-        if learner == "ttt":
-            self.learner = TTTLearner(oracle, eq, name=self.name)
-        else:
-            self.learner = LStarLearner(oracle, eq, name=self.name)
+    @classmethod
+    def from_spec(
+        cls,
+        spec: ExperimentSpec,
+        shared_cache: QueryCache | None = None,
+    ) -> "Prognosis":
+        """Build the framework from a declarative experiment spec.
+
+        ``shared_cache`` pre-warms the cache middleware with observations
+        from earlier runs of the same SUL (campaign cross-run sharing).
+        """
+        return cls(spec=spec, shared_cache=shared_cache)
 
     # ------------------------------------------------------------------
     def learn(self) -> LearningReport:
         """Run active learning to completion and package the accounting."""
         result: LearningResult = self.learner.learn()
-        eq = self.equivalence_oracle
-        if isinstance(eq, ChainedEquivalenceOracle):
-            attribution = {name: dict(stats) for name, stats in eq.attribution.items()}
-        else:
-            attribution = {
-                getattr(eq, "name", type(eq).__name__): {
-                    "words_submitted": getattr(eq, "words_submitted", 0),
-                    "counterexamples_found": getattr(eq, "counterexamples_found", 0),
-                }
-            }
         return LearningReport(
             model=result.model,
             rounds=result.rounds,
@@ -199,7 +288,7 @@ class Prognosis:
                 else 0
             ),
             workers=self.workers,
-            eq_attribution=attribution,
+            eq_attribution=self.equivalence_oracle.attribution(),
         )
 
     # ------------------------------------------------------------------
@@ -208,11 +297,18 @@ class Prognosis:
 
         Safe to call on any SUL; a no-op when the SUL has no ``close``.
         Long-running sweeps constructing many pooled ``Prognosis`` objects
-        should call this (or close the pool directly) after each run.
+        should use the context-manager protocol (or call this) after each
+        run.
         """
         close = getattr(self.sul, "close", None)
         if callable(close):
             close()
+
+    def __enter__(self) -> "Prognosis":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def synthesize(

@@ -18,10 +18,11 @@ answers both.  Only the surviving words are forwarded to the inner oracle
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from ..core.alphabet import AbstractSymbol, Alphabet
 from ..core.trace import Word
+from ..registry import MIDDLEWARE_REGISTRY
 from .teacher import MembershipOracle, OracleStats
 
 
@@ -116,6 +117,31 @@ class QueryCache:
         self.entries = 0
         self.nodes = 0
 
+    def dump(self) -> Iterator[tuple[Word, Word]]:
+        """All stored ``(word, outputs)`` observations, depth-first.
+
+        Every trie path ends at a terminal node (inserts mark their end),
+        so re-inserting the dumped words into an empty trie reproduces the
+        full structure -- the transfer :meth:`merge_from` relies on.
+        """
+        stack: list[tuple[_TrieNode, Word, Word]] = [(self._root, (), ())]
+        while stack:
+            node, word, outputs = stack.pop()
+            if node.terminal:
+                yield word, outputs
+            for symbol, (output, child) in node.children.items():
+                stack.append((child, word + (symbol,), outputs + (output,)))
+
+    def merge_from(self, other: "QueryCache") -> None:
+        """Absorb every observation stored in ``other``.
+
+        Raises :class:`CacheInconsistencyError` if the two tries disagree
+        on any output -- merging observations of *different* SULs is a
+        caller bug (or genuine nondeterminism).
+        """
+        for word, outputs in other.dump():
+            self.insert(word, outputs)
+
 
 def _drop_covered_prefixes(words: Sequence[Word]) -> list[Word]:
     """Words from ``words`` that are not proper prefixes of another member.
@@ -139,20 +165,26 @@ def _drop_covered_prefixes(words: Sequence[Word]) -> list[Word]:
     return survivors
 
 
+@MIDDLEWARE_REGISTRY.register("cache")
 class CachedMembershipOracle:
     """Membership oracle layer that answers from the trie when possible.
 
     ``collapse_prefixes`` toggles the within-batch prefix collapse (kept
     switchable for the ablation benchmark); dedup and trie answering are
-    always on.
+    always on.  Passing ``cache`` substitutes a pre-warmed
+    :class:`QueryCache` (campaigns share per-SUL-fingerprint caches across
+    runs this way).
     """
 
     def __init__(
-        self, inner: MembershipOracle, collapse_prefixes: bool = True
+        self,
+        inner: MembershipOracle,
+        collapse_prefixes: bool = True,
+        cache: QueryCache | None = None,
     ) -> None:
         self.inner = inner
         self.input_alphabet: Alphabet = inner.input_alphabet
-        self.cache = QueryCache()
+        self.cache = cache if cache is not None else QueryCache()
         self.stats = OracleStats()
         self.collapse_prefixes = collapse_prefixes
         self.hits = 0

@@ -19,8 +19,9 @@ order, so the first counterexample found is the same one the serial loop
 would have returned.  Every counterexample is shrunk to its shortest
 failing prefix before being handed to the learner.
 
-Each oracle keeps ``words_submitted`` / ``counterexamples_found`` counters;
-:class:`ChainedEquivalenceOracle` aggregates them per sub-oracle so a
+Each oracle keeps ``words_submitted`` / ``counterexamples_found`` counters
+and exposes them uniformly through ``attribution()``;
+:class:`ChainedEquivalenceOracle` aggregates per sub-oracle so a
 :class:`~repro.framework.LearningReport` can attribute counterexamples to
 the strategy that found them.
 """
@@ -32,6 +33,7 @@ from typing import Iterator, Sequence
 
 from ..core.mealy import MealyMachine
 from ..core.trace import Word
+from ..registry import EQ_ORACLE_REGISTRY
 from .teacher import MembershipOracle
 
 
@@ -48,7 +50,30 @@ def _chunks(words: Sequence[Word], size: int) -> Iterator[Sequence[Word]]:
         yield words[start : start + size]
 
 
-class RandomWordEquivalenceOracle:
+class AttributionMixin:
+    """The per-oracle accounting every equivalence oracle exposes.
+
+    Subclasses set ``name`` and maintain ``words_submitted`` /
+    ``counterexamples_found``; :meth:`attribution` packages them in the
+    shape :class:`~repro.framework.LearningReport.eq_attribution` reports,
+    replacing the ``getattr`` duck-typing the framework used to do.
+    """
+
+    name: str = "eq"
+    words_submitted: int = 0
+    counterexamples_found: int = 0
+
+    def attribution(self) -> dict[str, dict[str, int]]:
+        return {
+            self.name: {
+                "words_submitted": self.words_submitted,
+                "counterexamples_found": self.counterexamples_found,
+            }
+        }
+
+
+@EQ_ORACLE_REGISTRY.register("random")
+class RandomWordEquivalenceOracle(AttributionMixin):
     """Sample random input words and compare outputs."""
 
     def __init__(
@@ -91,7 +116,8 @@ class RandomWordEquivalenceOracle:
         return None
 
 
-class WMethodEquivalenceOracle:
+@EQ_ORACLE_REGISTRY.register("wmethod")
+class WMethodEquivalenceOracle(AttributionMixin):
     """The W-method: transition cover x middles x characterization set.
 
     With ``extra_states = k`` the suite is exhaustive against any SUL whose
@@ -130,24 +156,25 @@ class WMethodEquivalenceOracle:
 class ChainedEquivalenceOracle:
     """Try a sequence of oracles; first counterexample wins.
 
-    ``attribution`` accumulates, per sub-oracle, how many words it
+    :meth:`attribution` reports, per sub-oracle, how many words it
     submitted and how many counterexamples it found across all rounds of a
     learning run -- the accounting the paper tables break down by testing
     strategy.  ``last_found_by`` names the sub-oracle that produced the
     most recent counterexample.
     """
 
-    def __init__(self, oracles: Sequence) -> None:
+    def __init__(self, oracles: Sequence, name: str = "chained") -> None:
         self.oracles = list(oracles)
+        self.name = name
         self._names: list[str] = []
         for index, oracle in enumerate(self.oracles):
-            name = getattr(oracle, "name", None) or type(oracle).__name__
-            if name in self._names:
-                name = f"{name}#{index}"
-            self._names.append(name)
-        self.attribution: dict[str, dict[str, int]] = {
-            name: {"words_submitted": 0, "counterexamples_found": 0}
-            for name in self._names
+            sub_name = getattr(oracle, "name", None) or type(oracle).__name__
+            if sub_name in self._names:
+                sub_name = f"{sub_name}#{index}"
+            self._names.append(sub_name)
+        self._stats: dict[str, dict[str, int]] = {
+            sub_name: {"words_submitted": 0, "counterexamples_found": 0}
+            for sub_name in self._names
         }
         self.last_found_by: str | None = None
 
@@ -155,7 +182,7 @@ class ChainedEquivalenceOracle:
         for name, oracle in zip(self._names, self.oracles):
             words_before = getattr(oracle, "words_submitted", 0)
             counterexample = oracle.find_counterexample(hypothesis)
-            stats = self.attribution[name]
+            stats = self._stats[name]
             stats["words_submitted"] += (
                 getattr(oracle, "words_submitted", 0) - words_before
             )
@@ -165,8 +192,12 @@ class ChainedEquivalenceOracle:
                 return counterexample
         return None
 
+    def attribution(self) -> dict[str, dict[str, int]]:
+        """Per-sub-oracle accounting, aggregated across all rounds."""
+        return {name: dict(stats) for name, stats in self._stats.items()}
 
-class FixedWordsEquivalenceOracle:
+
+class FixedWordsEquivalenceOracle(AttributionMixin):
     """Check a fixed word list (useful in tests and regression suites)."""
 
     def __init__(
@@ -195,7 +226,7 @@ class FixedWordsEquivalenceOracle:
         return None
 
 
-class PerfectEquivalenceOracle:
+class PerfectEquivalenceOracle(AttributionMixin):
     """Compare against a known reference machine (tests / ablations only).
 
     This is the omniscient oracle the paper notes cannot exist for a real

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from ..core.mealy import MealyMachine
 from ..core.trace import Word
+from ..registry import LEARNER_REGISTRY
 from .observation_table import ObservationTable
 from .teacher import EquivalenceOracle, MembershipOracle
 
@@ -33,6 +34,7 @@ class LearningResult:
         return self.model.num_transitions
 
 
+@LEARNER_REGISTRY.register("lstar")
 class LStarLearner:
     """Classic observation-table learner."""
 

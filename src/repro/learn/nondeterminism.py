@@ -22,6 +22,7 @@ from typing import Sequence
 
 from ..core.alphabet import AbstractSymbol, Alphabet
 from ..core.trace import Word
+from ..registry import MIDDLEWARE_REGISTRY
 from .teacher import MembershipOracle, OracleStats
 
 
@@ -131,6 +132,22 @@ class MajorityVoteOracle:
                 still_active.append(index)
             active = still_active
         return [resolved[index] for index in range(len(words))]
+
+
+@MIDDLEWARE_REGISTRY.register("majority-vote")
+def majority_vote_middleware(
+    inner: MembershipOracle,
+    min_repeats: int = 1,
+    max_repeats: int = 10,
+    certainty: float = 0.9,
+) -> MajorityVoteOracle:
+    """Spec-friendly builder: flat params instead of a policy object."""
+    return MajorityVoteOracle(
+        inner,
+        NondeterminismPolicy(
+            min_repeats=min_repeats, max_repeats=max_repeats, certainty=certainty
+        ),
+    )
 
 
 def estimate_response_distribution(

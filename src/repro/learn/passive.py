@@ -16,7 +16,7 @@ of passive and active learning".  This module provides both halves:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..core.alphabet import AbstractSymbol, Alphabet

@@ -14,7 +14,7 @@ membership protocol and keeps the statistics the paper reports (e.g. the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol, Sequence
 
 from ..adapter.sul import SUL
@@ -51,6 +51,12 @@ class EquivalenceOracle(Protocol):
     def find_counterexample(
         self, hypothesis: MealyMachine
     ) -> Word | None:  # pragma: no cover
+        ...
+
+    def attribution(self) -> dict[str, dict[str, int]]:  # pragma: no cover
+        """Per-strategy accounting: ``{name: {words_submitted,
+        counterexamples_found}}`` (chained oracles report one entry per
+        sub-oracle)."""
         ...
 
 

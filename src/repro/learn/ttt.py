@@ -21,6 +21,7 @@ from typing import Sequence
 from ..core.alphabet import AbstractSymbol, Alphabet
 from ..core.mealy import MealyMachine
 from ..core.trace import EPSILON, Word
+from ..registry import LEARNER_REGISTRY
 from .counterexample import rivest_schapire
 from .lstar import LearningResult
 from .teacher import EquivalenceOracle, MembershipOracle, mq_suffix, mq_suffix_batch
@@ -123,6 +124,7 @@ class DiscriminationTree:
         return new_leaf
 
 
+@LEARNER_REGISTRY.register("ttt")
 class TTTLearner:
     """Discrimination-tree learner with Rivest-Schapire CE processing."""
 

@@ -13,7 +13,7 @@ SUL is reset between learner queries).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..netsim import Datagram, SimulatedNetwork
 from . import crypto
@@ -40,7 +40,6 @@ from .frames import (
     frame_kinds,
 )
 from .packet import (
-    PacketError,
     PacketHeader,
     PacketType,
     decode_packet,

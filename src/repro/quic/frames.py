@@ -9,8 +9,8 @@ adapter uses when abstracting packets).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, ClassVar, Sequence
+from dataclasses import dataclass
+from typing import ClassVar, Sequence
 
 from .varint import Buffer, VarintError
 

@@ -23,7 +23,7 @@ implementation that already owns the protocol logic.  This client
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ...netsim import Address, Endpoint, SimulatedNetwork
 from .. import crypto

@@ -13,7 +13,7 @@ unambiguous for every implementation in the simulation).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .crypto import TAG_LENGTH, retry_integrity_tag
 from .varint import Buffer, VarintError

@@ -1,0 +1,157 @@
+"""String-keyed component registries (the plug-in seam of the spec API).
+
+Prognosis's value is running *many* learning experiments -- different SUL
+targets, learners, equivalence-testing strategies and oracle middleware.
+Instead of if/else chains in :mod:`repro.framework` and :mod:`repro.cli`,
+each component kind has a :class:`Registry` that maps a short string key to
+a factory.  A :class:`repro.spec.ExperimentSpec` names components by key,
+which is what makes specs serializable and campaigns enumerable.
+
+Four registries are provided:
+
+* :data:`SUL_REGISTRY` -- factories building a fresh
+  :class:`~repro.adapter.sul.SUL` from keyword params (``seed`` etc.);
+* :data:`LEARNER_REGISTRY` -- ``factory(oracle, equivalence_oracle, ...)``;
+* :data:`EQ_ORACLE_REGISTRY` -- ``factory(oracle, ...)``;
+* :data:`MIDDLEWARE_REGISTRY` -- ``factory(inner_oracle, ...)`` membership
+  -oracle layers (cache, majority vote, ...).
+
+Built-in components register themselves on import of their home module;
+:func:`load_builtins` triggers those imports and is called by every spec
+entry point, so user code never has to.  Third-party protocols plug in with
+the same decorator::
+
+    from repro.registry import SUL_REGISTRY
+
+    @SUL_REGISTRY.register("http3")
+    def build_http3_sul(seed: int = 0) -> SUL: ...
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Generic, Iterator, Mapping, TypeVar
+
+T = TypeVar("T")
+
+
+class RegistryError(KeyError):
+    """An unknown component key (the message lists what *is* registered)."""
+
+
+class Registry(Generic[T]):
+    """An ordered name -> factory mapping with a registration decorator."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: dict[str, Callable[..., T]] = {}
+
+    # -- registration ------------------------------------------------------
+    def register(
+        self, name: str, factory: Callable[..., T] | None = None
+    ) -> Callable:
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        Re-registering a name replaces the previous factory (tests and
+        plug-ins may override built-ins deliberately).
+        """
+
+        def _record(fn: Callable[..., T]) -> Callable[..., T]:
+            self._factories[name] = fn
+            return fn
+
+        if factory is not None:
+            return _record(factory)
+        return _record
+
+    def unregister(self, name: str) -> None:
+        self._factories.pop(name, None)
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, name: str) -> Callable[..., T]:
+        try:
+            return self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories)) or "<none>"
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; registered: {known}"
+            ) from None
+
+    def create(self, name: str, *args, **params) -> T:
+        """Instantiate the component registered under ``name``."""
+        return self.get(name)(*args, **params)
+
+    def names(self) -> tuple[str, ...]:
+        """Registered keys, in registration order."""
+        return tuple(self._factories)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._factories)
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {sorted(self._factories)})"
+
+
+#: System-under-learning targets (``tcp``, ``quic-google``, ..., plug-ins).
+SUL_REGISTRY: Registry = Registry("SUL target")
+#: Active-learning algorithms (``ttt``, ``lstar``).
+LEARNER_REGISTRY: Registry = Registry("learner")
+#: Equivalence-testing strategies (``wmethod``, ``random``).
+EQ_ORACLE_REGISTRY: Registry = Registry("equivalence oracle")
+#: Membership-oracle middleware layers (``cache``, ``majority-vote``).
+MIDDLEWARE_REGISTRY: Registry = Registry("oracle middleware")
+
+
+def supported_kwargs(
+    factory: Callable, params: Mapping[str, object]
+) -> dict[str, object]:
+    """The subset of ``params`` that ``factory``'s signature accepts.
+
+    Used to inject spec-level defaults (``batch_size``, ``seed``) into
+    component factories without requiring every factory to declare them;
+    a factory taking ``**kwargs`` receives everything.
+    """
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # builtins without introspectable sigs
+        return dict(params)
+    accepts_kwargs = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in signature.parameters.values()
+    )
+    if accepts_kwargs:
+        return dict(params)
+    names = {
+        name
+        for name, p in signature.parameters.items()
+        if p.kind
+        in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    }
+    return {key: value for key, value in params.items() if key in names}
+
+
+_BUILTINS_LOADED = False
+
+
+def load_builtins() -> None:
+    """Import every module that registers built-in components.
+
+    Idempotent and cheap after the first call; spec/campaign/CLI entry
+    points call it so registry lookups always see the built-ins.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    # Flag only flips once every import succeeded; a failed import leaves
+    # it unset so the next call retries (and re-raises the real error)
+    # instead of silently no-op'ing over half-populated registries.
+    from .adapter import mealy_sul, tcp_adapter, quic_adapter  # noqa: F401
+    from .learn import cache, equivalence, lstar, nondeterminism, ttt  # noqa: F401
+
+    _BUILTINS_LOADED = True

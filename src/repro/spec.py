@@ -1,0 +1,333 @@
+"""Declarative experiment specifications (the serializable API surface).
+
+An :class:`ExperimentSpec` is a complete, JSON-round-trippable description
+of one learning experiment: the SUL target, the learner, the equivalence
+-oracle chain, the membership-oracle middleware stack, and the execution
+knobs (workers, seed, batch size).  Components are named by their
+:mod:`repro.registry` keys, so a spec contains *no* code -- it can be
+stored next to its artifacts, diffed, and replayed byte-identically::
+
+    spec = ExperimentSpec(target="tcp", learner="lstar", seed=7)
+    spec == ExperimentSpec.from_json(spec.to_json())   # lossless
+
+:func:`assemble` turns a spec into the live oracle/learner pipeline; the
+:class:`repro.framework.Prognosis` facade and the
+:class:`repro.campaign.Campaign` runner are both built on it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .adapter.pool import SULPool
+from .adapter.sul import SUL
+from .learn.equivalence import ChainedEquivalenceOracle
+from .learn.teacher import EquivalenceOracle, MembershipOracle, SULMembershipOracle
+from .registry import (
+    EQ_ORACLE_REGISTRY,
+    LEARNER_REGISTRY,
+    MIDDLEWARE_REGISTRY,
+    SUL_REGISTRY,
+    load_builtins,
+    supported_kwargs,
+)
+
+
+class SpecError(ValueError):
+    """A malformed or unsatisfiable experiment specification."""
+
+
+@dataclass
+class ComponentSpec:
+    """One registry-keyed component plus its constructor params.
+
+    Used for equivalence-oracle chain entries and middleware layers.  In
+    dict/JSON form a bare string is accepted as shorthand for a component
+    with default params (``"cache"`` == ``{"kind": "cache", "params": {}}``).
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: str | Mapping) -> "ComponentSpec":
+        if isinstance(data, str):
+            return cls(kind=data)
+        if isinstance(data, ComponentSpec):
+            return cls(kind=data.kind, params=dict(data.params))
+        if not isinstance(data, Mapping) or "kind" not in data:
+            raise SpecError(f"malformed component spec: {data!r}")
+        unknown = set(data) - {"kind", "params"}
+        if unknown:
+            raise SpecError(f"unknown component spec keys: {sorted(unknown)}")
+        return cls(kind=data["kind"], params=dict(data.get("params") or {}))
+
+    def clone(self) -> "ComponentSpec":
+        return ComponentSpec(kind=self.kind, params=dict(self.params))
+
+
+def default_equivalence() -> list[ComponentSpec]:
+    """The default EQ chain: W-method with one extra state (paper setup)."""
+    return [ComponentSpec("wmethod", {"extra_states": 1})]
+
+
+def default_middleware() -> list[ComponentSpec]:
+    """The default oracle stack: just the prefix-tree query cache."""
+    return [ComponentSpec("cache")]
+
+
+_SPEC_FIELDS = {
+    "target",
+    "target_params",
+    "learner",
+    "learner_params",
+    "equivalence",
+    "middleware",
+    "workers",
+    "seed",
+    "batch_size",
+    "name",
+}
+
+
+@dataclass
+class ExperimentSpec:
+    """A complete, serializable description of one learning experiment.
+
+    ``target`` / ``learner`` name :data:`repro.registry.SUL_REGISTRY` /
+    :data:`~repro.registry.LEARNER_REGISTRY` entries; ``equivalence`` is an
+    ordered oracle chain (one entry runs alone, several are chained
+    cheap-first); ``middleware`` is the membership-oracle stack applied
+    innermost-first on top of the raw SUL oracle.  ``seed`` seeds
+    randomized equivalence oracles, ``batch_size`` bounds query batches,
+    and ``workers > 1`` fans batches over a pool of identically-built SUL
+    instances.
+    """
+
+    target: str
+    target_params: dict = field(default_factory=dict)
+    learner: str = "ttt"
+    learner_params: dict = field(default_factory=dict)
+    equivalence: list[ComponentSpec] = field(default_factory=default_equivalence)
+    middleware: list[ComponentSpec] = field(default_factory=default_middleware)
+    workers: int = 1
+    seed: int = 0
+    batch_size: int = 64
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        self.equivalence = [ComponentSpec.from_dict(e) for e in self.equivalence]
+        self.middleware = [ComponentSpec.from_dict(m) for m in self.middleware]
+
+    # -- identity ----------------------------------------------------------
+    def display_name(self) -> str:
+        """The run name: explicit ``name`` or ``target-learner-s<seed>``."""
+        return self.name or f"{self.target}-{self.learner}-s{self.seed}"
+
+    def sul_fingerprint(self) -> str:
+        """Behavioural identity of the SUL this spec targets.
+
+        Two specs with equal fingerprints query *the same* system (same
+        target key, same construction params), so their membership-query
+        caches are interchangeable -- the sharing key campaigns use.
+        Learner, equivalence chain and seed deliberately do not
+        contribute: they change which queries are asked, not the answers.
+        """
+        return json.dumps(
+            {"target": self.target, "params": self.target_params},
+            sort_keys=True,
+            default=str,
+        )
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "target_params": dict(self.target_params),
+            "learner": self.learner,
+            "learner_params": dict(self.learner_params),
+            "equivalence": [e.to_dict() for e in self.equivalence],
+            "middleware": [m.to_dict() for m in self.middleware],
+            "workers": self.workers,
+            "seed": self.seed,
+            "batch_size": self.batch_size,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExperimentSpec":
+        if not isinstance(data, Mapping):
+            raise SpecError(f"experiment spec must be a mapping, got {data!r}")
+        if "target" not in data:
+            raise SpecError("experiment spec needs a 'target'")
+        unknown = set(data) - _SPEC_FIELDS
+        if unknown:
+            raise SpecError(f"unknown experiment spec keys: {sorted(unknown)}")
+        fields = dict(data)
+        fields.setdefault("target_params", {})
+        fields.setdefault("learner_params", {})
+        return cls(**fields)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    def clone(self, **overrides) -> "ExperimentSpec":
+        """An independent copy with ``overrides`` applied (grid expansion)."""
+        data = {
+            "target": self.target,
+            "target_params": dict(self.target_params),
+            "learner": self.learner,
+            "learner_params": dict(self.learner_params),
+            "equivalence": [e.clone() for e in self.equivalence],
+            "middleware": [m.clone() for m in self.middleware],
+            "workers": self.workers,
+            "seed": self.seed,
+            "batch_size": self.batch_size,
+            "name": self.name,
+        }
+        unknown = set(overrides) - _SPEC_FIELDS
+        if unknown:
+            raise SpecError(f"unknown experiment spec keys: {sorted(unknown)}")
+        data.update(overrides)
+        return ExperimentSpec(**data)
+
+    # -- validation --------------------------------------------------------
+    def validate(self) -> "ExperimentSpec":
+        """Check registry membership and knob ranges; returns ``self``."""
+        load_builtins()
+        if self.workers < 1:
+            raise SpecError(f"need at least one worker, got {self.workers}")
+        if self.batch_size < 1:
+            raise SpecError(f"need a positive batch_size, got {self.batch_size}")
+        if not self.equivalence:
+            raise SpecError("spec needs at least one equivalence oracle")
+        for registry, keys in (
+            (SUL_REGISTRY, [self.target]),
+            (LEARNER_REGISTRY, [self.learner]),
+            (EQ_ORACLE_REGISTRY, [e.kind for e in self.equivalence]),
+            (MIDDLEWARE_REGISTRY, [m.kind for m in self.middleware]),
+        ):
+            for key in keys:
+                registry.get(key)  # raises RegistryError with known names
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Spec -> live pipeline
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AssembledPipeline:
+    """The live objects a spec describes, one per stack position."""
+
+    sul: SUL
+    base_oracle: SULMembershipOracle
+    middleware: list  # instances, innermost first
+    oracle: MembershipOracle  # top of the middleware stack
+    equivalence_oracle: EquivalenceOracle
+    learner: object
+
+
+def build_sul(spec: ExperimentSpec) -> SUL:
+    """Instantiate the spec's SUL target (a pool when ``workers > 1``)."""
+    load_builtins()
+    factory = SUL_REGISTRY.get(spec.target)
+    if spec.workers > 1:
+        return SULPool(
+            lambda: factory(**spec.target_params),
+            workers=spec.workers,
+            name=spec.name,
+        )
+    return factory(**spec.target_params)
+
+
+def build_equivalence_chain(
+    spec: ExperimentSpec, oracle: MembershipOracle
+) -> EquivalenceOracle:
+    """The spec's EQ oracle chain over ``oracle``.
+
+    Spec-level ``batch_size`` and ``seed`` are injected into every oracle
+    whose factory accepts them; per-component params override.
+    """
+    oracles = []
+    for component in spec.equivalence:
+        factory = EQ_ORACLE_REGISTRY.get(component.kind)
+        params = supported_kwargs(
+            factory, {"batch_size": spec.batch_size, "seed": spec.seed}
+        )
+        params.update(component.params)
+        oracles.append(factory(oracle, **params))
+    if len(oracles) == 1:
+        return oracles[0]
+    return ChainedEquivalenceOracle(oracles)
+
+
+def assemble(
+    spec: ExperimentSpec,
+    sul: SUL | None = None,
+    shared_cache=None,
+) -> AssembledPipeline:
+    """Build the full pipeline a spec describes.
+
+    ``sul`` substitutes a ready instance (the facade's legacy path);
+    otherwise the target registry builds it.  ``shared_cache`` pre-warms
+    the first ``cache`` middleware layer with an existing
+    :class:`~repro.learn.cache.QueryCache` (campaign cross-run sharing).
+    """
+    load_builtins()
+    owns_sul = sul is None
+    if sul is None:
+        sul = build_sul(spec)
+    try:
+        base_oracle = SULMembershipOracle(sul)
+        oracle: MembershipOracle = base_oracle
+        layers = []
+        cache_warmed = False
+        for component in spec.middleware:
+            factory = MIDDLEWARE_REGISTRY.get(component.kind)
+            params = dict(component.params)
+            if (
+                component.kind == "cache"
+                and shared_cache is not None
+                and not cache_warmed
+            ):
+                params.setdefault("cache", shared_cache)
+                cache_warmed = True
+            layer = factory(oracle, **params)
+            layers.append(layer)
+            oracle = layer
+
+        equivalence_oracle = build_equivalence_chain(spec, oracle)
+
+        learner_factory = LEARNER_REGISTRY.get(spec.learner)
+        learner_params = supported_kwargs(
+            learner_factory, {"name": spec.name or sul.name}
+        )
+        learner_params.update(spec.learner_params)
+        learner = learner_factory(oracle, equivalence_oracle, **learner_params)
+    except BaseException:
+        # Release the SUL we built (pool threads, simulated sockets)
+        # before surfacing the misconfiguration.
+        if owns_sul:
+            close = getattr(sul, "close", None)
+            if callable(close):
+                close()
+        raise
+
+    return AssembledPipeline(
+        sul=sul,
+        base_oracle=base_oracle,
+        middleware=layers,
+        oracle=oracle,
+        equivalence_oracle=equivalence_oracle,
+        learner=learner,
+    )

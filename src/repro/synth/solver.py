@@ -19,7 +19,7 @@ each complete assignment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..core.extended import ConcreteStep

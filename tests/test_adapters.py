@@ -4,7 +4,7 @@ import pytest
 
 from repro.adapter.mealy_sul import MealySUL
 from repro.adapter.queue import PacketQueue
-from repro.adapter.quic_adapter import QUICAdapterSUL, abstract_packet
+from repro.adapter.quic_adapter import QUICAdapterSUL
 from repro.adapter.tcp_adapter import TCPAdapterSUL, abstract_segment
 from repro.core.alphabet import (
     parse_quic_symbol,

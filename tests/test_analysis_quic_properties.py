@@ -1,6 +1,5 @@
 """Tests for the QUIC property suite over learned models."""
 
-import pytest
 
 from repro.analysis.quic_properties import (
     DESIGN_PROBES,

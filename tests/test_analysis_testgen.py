@@ -1,10 +1,8 @@
 """Tests for model-based test generation and differential testing."""
 
-import pytest
 
 from repro.adapter.mealy_sul import MealySUL
 from repro.analysis.testgen import (
-    DifferentialReport,
     differential_test,
     generate_test_suite,
 )

@@ -4,7 +4,6 @@ import importlib.util
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
@@ -36,3 +35,9 @@ class TestExamples:
         assert "12 states" in out
         assert "8 states" in out
         assert (tmp_path / "google.dot").exists()
+
+    def test_sweep_tcp_learners_runs(self, capsys):
+        load_example("sweep_tcp_learners").main()
+        out = capsys.readouterr().out
+        assert "tcp-lstar-s2" in out
+        assert "distinct learned behaviours: 1" in out

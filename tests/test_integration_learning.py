@@ -7,10 +7,9 @@ These are the fast variants of the benchmark experiments; the full paper
 import pytest
 
 from repro.adapter.tcp_adapter import TCPAdapterSUL
-from repro.core.alphabet import parse_quic_symbol, parse_tcp_symbol, tcp_handshake_alphabet
+from repro.core.alphabet import parse_quic_symbol, parse_tcp_symbol
 from repro.experiments import learn_quic, learn_tcp_full, synthesize_handshake_registers
 from repro.experiments.tcp_experiments import learn_tcp_handshake
-from repro.framework import Prognosis
 from repro.learn.nondeterminism import NondeterminismError
 
 

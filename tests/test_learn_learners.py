@@ -18,7 +18,7 @@ from repro.learn.equivalence import (
 )
 from repro.learn.lstar import LStarLearner
 from repro.learn.observation_table import ObservationTable
-from repro.learn.teacher import SULMembershipOracle, mq_suffix
+from repro.learn.teacher import SULMembershipOracle
 from repro.learn.ttt import TTTLearner
 
 SYN = TCPSymbol.make(["SYN"])

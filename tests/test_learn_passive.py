@@ -9,7 +9,6 @@ from repro.core.trace import IOTrace
 from repro.framework import Prognosis
 from repro.learn.cache import CachedMembershipOracle, CacheInconsistencyError
 from repro.learn.passive import (
-    PartialMealyMachine,
     rpni_mealy,
     seed_cache_from_traces,
 )

@@ -9,7 +9,6 @@ from repro.core.alphabet import (
     QUIC_FRAME_TYPES,
     TCPSymbol,
     parse_quic_output,
-    parse_quic_symbol,
 )
 from repro.core.mealy import MealyMachine
 from repro.quic.transport_params import TransportParameters

@@ -7,7 +7,6 @@ from repro.quic.impls.google import google_server
 from repro.quic.impls.mvfst import mvfst_server
 from repro.quic.impls.quiche import quiche_server
 from repro.quic.impls.tracker import TrackerClient, TrackerConfig
-from repro.quic.packet import PacketType
 
 
 @pytest.fixture

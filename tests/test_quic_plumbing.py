@@ -9,7 +9,7 @@ from repro.quic.flowcontrol import (
     SendFlowController,
 )
 from repro.quic.frames import AckFrame, AckRange
-from repro.quic.packetspace import PacketNumberSpace, Space
+from repro.quic.packetspace import PacketNumberSpace
 from repro.quic.streams import ReceiveStream, SendStream, StreamError
 from repro.quic.transport_params import TransportParameters
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.netsim import SimulatedNetwork
-from repro.quic.crypto import CryptoError
 from repro.quic.frames import (
     AckFrame,
     CryptoFrame,

@@ -1,0 +1,227 @@
+"""Tests for the declarative spec API: registries, specs, assembly."""
+
+import json
+
+import pytest
+
+from repro.adapter.mealy_sul import MealySUL, toy_machine
+from repro.framework import Prognosis
+from repro.learn.cache import CachedMembershipOracle
+from repro.learn.equivalence import (
+    ChainedEquivalenceOracle,
+    RandomWordEquivalenceOracle,
+    WMethodEquivalenceOracle,
+)
+from repro.learn.nondeterminism import MajorityVoteOracle
+from repro.registry import (
+    EQ_ORACLE_REGISTRY,
+    LEARNER_REGISTRY,
+    MIDDLEWARE_REGISTRY,
+    Registry,
+    RegistryError,
+    SUL_REGISTRY,
+    load_builtins,
+    supported_kwargs,
+)
+from repro.spec import (
+    ComponentSpec,
+    ExperimentSpec,
+    SpecError,
+    assemble,
+    build_sul,
+)
+
+
+class TestRegistry:
+    def test_register_and_create(self):
+        registry = Registry("widget")
+
+        @registry.register("box")
+        def build_box(size: int = 1):
+            return ("box", size)
+
+        assert "box" in registry
+        assert registry.create("box", size=3) == ("box", 3)
+        assert registry.names() == ("box",)
+
+    def test_unknown_key_names_known_ones(self):
+        registry = Registry("widget")
+        registry.register("box", lambda: None)
+        with pytest.raises(RegistryError, match="box"):
+            registry.get("sphere")
+
+    def test_builtins_registered(self):
+        load_builtins()
+        for name in ("tcp", "tcp-handshake", "quic-google", "quic-quiche",
+                     "quic-mvfst", "toy"):
+            assert name in SUL_REGISTRY
+        assert {"ttt", "lstar"} <= set(LEARNER_REGISTRY.names())
+        assert {"wmethod", "random"} <= set(EQ_ORACLE_REGISTRY.names())
+        assert {"cache", "majority-vote"} <= set(MIDDLEWARE_REGISTRY.names())
+
+    def test_supported_kwargs_filters(self):
+        def fn(a, b=1):
+            return a, b
+
+        assert supported_kwargs(fn, {"b": 2, "c": 3}) == {"b": 2}
+
+        def fn_kwargs(a, **rest):
+            return a, rest
+
+        assert supported_kwargs(fn_kwargs, {"b": 2, "c": 3}) == {"b": 2, "c": 3}
+
+
+class TestExperimentSpecSerialization:
+    def test_json_round_trip_is_lossless(self):
+        spec = ExperimentSpec(
+            target="quic-google",
+            target_params={"seed": 7, "retry_enabled": True},
+            learner="lstar",
+            learner_params={"max_rounds": 50},
+            equivalence=[
+                ComponentSpec("random", {"num_words": 100}),
+                ComponentSpec("wmethod", {"extra_states": 2}),
+            ],
+            middleware=[
+                ComponentSpec("majority-vote", {"min_repeats": 2}),
+                ComponentSpec("cache"),
+            ],
+            workers=4,
+            seed=13,
+            batch_size=32,
+            name="g-lstar",
+        )
+        round_tripped = ExperimentSpec.from_json(spec.to_json())
+        assert round_tripped == spec
+        assert round_tripped.to_dict() == spec.to_dict()
+        # JSON text itself is stable across a second round trip.
+        assert round_tripped.to_json() == spec.to_json()
+
+    def test_component_string_shorthand(self):
+        spec = ExperimentSpec.from_dict(
+            {"target": "toy", "middleware": ["cache"], "equivalence": ["wmethod"]}
+        )
+        assert spec.middleware == [ComponentSpec("cache")]
+        assert spec.equivalence == [ComponentSpec("wmethod")]
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SpecError, match="learnr"):
+            ExperimentSpec.from_dict({"target": "toy", "learnr": "ttt"})
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(SpecError, match="target"):
+            ExperimentSpec.from_dict({"learner": "ttt"})
+
+    def test_clone_is_independent(self):
+        spec = ExperimentSpec(target="toy", target_params={"seed": 1})
+        other = spec.clone(learner="lstar")
+        other.target_params["seed"] = 99
+        other.middleware[0].params["collapse_prefixes"] = False
+        assert spec.target_params == {"seed": 1}
+        assert spec.middleware[0].params == {}
+        assert other.learner == "lstar"
+
+    def test_validate_rejects_unknown_components(self):
+        with pytest.raises(RegistryError):
+            ExperimentSpec(target="no-such-protocol").validate()
+        with pytest.raises(RegistryError):
+            ExperimentSpec(target="toy", learner="no-such-learner").validate()
+
+    def test_fingerprint_ignores_learner_and_seed(self):
+        a = ExperimentSpec(target="toy", learner="ttt", seed=0)
+        b = ExperimentSpec(target="toy", learner="lstar", seed=9)
+        c = ExperimentSpec(target="toy", target_params={"seed": 1})
+        assert a.sul_fingerprint() == b.sul_fingerprint()
+        assert a.sul_fingerprint() != c.sul_fingerprint()
+
+
+class TestAssembly:
+    def test_pipeline_layers_match_spec(self):
+        spec = ExperimentSpec(
+            target="toy",
+            equivalence=[
+                ComponentSpec("random", {"num_words": 10}),
+                ComponentSpec("wmethod"),
+            ],
+            middleware=[
+                ComponentSpec("majority-vote", {"min_repeats": 2}),
+                ComponentSpec("cache"),
+            ],
+        )
+        pipeline = assemble(spec)
+        assert isinstance(pipeline.middleware[0], MajorityVoteOracle)
+        assert isinstance(pipeline.middleware[1], CachedMembershipOracle)
+        assert pipeline.oracle is pipeline.middleware[-1]
+        assert isinstance(pipeline.equivalence_oracle, ChainedEquivalenceOracle)
+        chain = pipeline.equivalence_oracle.oracles
+        assert isinstance(chain[0], RandomWordEquivalenceOracle)
+        assert isinstance(chain[1], WMethodEquivalenceOracle)
+
+    def test_spec_level_knobs_injected(self):
+        spec = ExperimentSpec(
+            target="toy",
+            equivalence=[ComponentSpec("random", {"num_words": 10})],
+            seed=42,
+            batch_size=17,
+        )
+        pipeline = assemble(spec)
+        eq = pipeline.equivalence_oracle
+        assert eq.batch_size == 17
+        # component params override spec-level injection
+        spec2 = ExperimentSpec(
+            target="toy",
+            equivalence=[ComponentSpec("random", {"batch_size": 5})],
+            batch_size=17,
+        )
+        assert assemble(spec2).equivalence_oracle.batch_size == 5
+
+    def test_build_sul_pools_when_workers(self):
+        from repro.adapter.pool import SULPool
+
+        sul = build_sul(ExperimentSpec(target="toy", workers=3))
+        try:
+            assert isinstance(sul, SULPool)
+            assert sul.workers == 3
+        finally:
+            sul.close()
+
+    def test_spec_learn_matches_legacy_learn(self, toy_machine):
+        with Prognosis.from_spec(ExperimentSpec(target="toy")) as spec_run:
+            spec_report = spec_run.learn()
+        with Prognosis(MealySUL(toy_machine, name="toy")) as legacy_run:
+            legacy_report = legacy_run.learn()
+        assert spec_report.model.to_dict() == legacy_report.model.to_dict()
+        assert spec_report.sul_queries == legacy_report.sul_queries
+
+
+class TestPrognosisFacade:
+    def test_context_manager_closes_pool(self):
+        with Prognosis.from_spec(ExperimentSpec(target="toy", workers=2)) as p:
+            report = p.learn()
+            assert report.workers == 2
+        # after close, the executor's thread pool is released
+        assert p.sul._executor._pool is None
+
+    def test_spec_and_sul_are_exclusive(self):
+        with pytest.raises(ValueError):
+            Prognosis(
+                MealySUL(toy_machine()), spec=ExperimentSpec(target="toy")
+            )
+
+    def test_legacy_spec_recorded(self, toy_machine):
+        prognosis = Prognosis(MealySUL(toy_machine), equivalence="random+wmethod")
+        assert prognosis.spec.learner == "ttt"
+        assert [c.kind for c in prognosis.spec.equivalence] == ["random", "wmethod"]
+        assert [c.kind for c in prognosis.spec.middleware] == ["cache"]
+
+    def test_attribution_method_used(self, toy_machine):
+        prognosis = Prognosis(MealySUL(toy_machine))
+        report = prognosis.learn()
+        assert report.eq_attribution == prognosis.equivalence_oracle.attribution()
+        assert "wmethod" in report.eq_attribution
+
+    def test_report_to_dict_is_jsonable(self, toy_machine):
+        report = Prognosis(MealySUL(toy_machine)).learn()
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["num_states"] == 3
+        assert data["eq_attribution"]["wmethod"]["words_submitted"] > 0

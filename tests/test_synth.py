@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.core.alphabet import Alphabet, TCPSymbol, parse_tcp_symbol
+from repro.core.alphabet import Alphabet, parse_tcp_symbol
 from repro.core.extended import ConcreteStep
 from repro.core.mealy import mealy_from_table
-from repro.synth.constraints import INITIAL_KEY, Unknown, build_problem
+from repro.synth.constraints import build_problem
 from repro.synth.solver import SearchBudgetExceeded, TraceSolver
 from repro.synth.synthesizer import synthesize, synthesize_with_cegis
 from repro.synth.terms import (
