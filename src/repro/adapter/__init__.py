@@ -1,5 +1,11 @@
 """Adapter layer: SUL interface, pooling, packet queue, protocol adapters."""
 
+from .http2_adapter import (
+    HTTP2AdapterSUL,
+    abstract_frame,
+    abstract_frames,
+    frame_params,
+)
 from .pool import BatchExecutor, SULPool
 from .queue import PacketQueue, QueuedPacket
 from .quic_adapter import QUICAdapterSUL, abstract_packet, abstract_response
@@ -8,6 +14,7 @@ from .tcp_adapter import TCPAdapterSUL, abstract_segment, segment_params
 
 __all__ = [
     "BatchExecutor",
+    "HTTP2AdapterSUL",
     "PacketQueue",
     "QUICAdapterSUL",
     "QueuedPacket",
@@ -15,8 +22,11 @@ __all__ = [
     "SULPool",
     "SULStats",
     "TCPAdapterSUL",
+    "abstract_frame",
+    "abstract_frames",
     "abstract_packet",
     "abstract_response",
     "abstract_segment",
+    "frame_params",
     "segment_params",
 ]

@@ -1,0 +1,190 @@
+"""A reusable HTTP/2 property suite (RFC 9113 framing rules).
+
+The HTTP/2 counterpart of :mod:`repro.analysis.quic_properties`: RFC-level
+rules packaged as named trace predicates, checked exhaustively against a
+learned model up to a depth.  The suite contains the response-framing and
+termination rules every conformant server satisfies plus
+``rst-after-response-tolerated``, the property that flags the seeded
+:attr:`~repro.http2.server.HTTP2ServerConfig.rst_on_closed_bug` quirk
+(section 5.1: RST_STREAM in the closed state MUST be ignored).
+
+Stream-id monotonicity (section 5.1.1: a client's stream identifiers are
+strictly increasing odd numbers) lives below the abstraction -- identifiers
+are ``?``-free in abstract symbols -- so it is checked against the Oracle
+Table's concrete parameters instead of the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.mealy import MealyMachine
+from ..core.oracle_table import OracleTable
+from ..core.trace import IOTrace
+from .properties import PropertyViolation, check_invariant
+
+TracePredicate = Callable[[IOTrace], bool]
+
+
+@dataclass(frozen=True)
+class HTTP2Property:
+    """A named, documented property with its RFC-level motivation."""
+
+    name: str
+    description: str
+    predicate: TracePredicate
+
+
+def _goaway_before(trace: IOTrace, index: int) -> bool:
+    """True if the connection was shut down before step ``index``."""
+    return any(
+        "GOAWAY" in str(trace.inputs[i]) or "GOAWAY" in str(trace.outputs[i])
+        for i in range(index)
+    )
+
+
+def no_data_before_headers(trace: IOTrace) -> bool:
+    """A server never sends response DATA before response HEADERS --
+    HTTP/2 responses start with a header block (RFC 9113 section 8.1)."""
+    seen_headers = False
+    for output in trace.outputs:
+        text = str(output)
+        data_at = text.find("DATA")
+        if data_at != -1 and not seen_headers:
+            headers_at = text.find("HEADERS")
+            if headers_at == -1 or headers_at > data_at:
+                return False
+        if "HEADERS" in text:
+            seen_headers = True
+    return True
+
+
+def goaway_is_terminal(trace: IOTrace) -> bool:
+    """After the server sends GOAWAY it goes silent: no later response
+    carries any frame (RFC 9113 section 6.8 connection shutdown)."""
+    for i, output in enumerate(trace.outputs):
+        if "GOAWAY" in str(output):
+            return all(str(o) == "NIL" for o in trace.outputs[i + 1 :])
+    return True
+
+
+def settings_always_acked(trace: IOTrace) -> bool:
+    """Every SETTINGS frame on a live connection is acknowledged
+    (RFC 9113 section 6.5.3)."""
+    for i, symbol in enumerate(trace.inputs):
+        if str(symbol).startswith("SETTINGS") and not _goaway_before(trace, i):
+            if "SETTINGS[ACK]" not in str(trace.outputs[i]):
+                return False
+    return True
+
+
+def rst_after_response_tolerated(trace: IOTrace) -> bool:
+    """RST_STREAM arriving for an already-answered stream must be ignored,
+    not escalated to GOAWAY (RFC 9113 section 5.1, closed state).
+
+    A response was delivered when some earlier output carried DATA; the
+    check skips positions where the connection already shut down.  The
+    ``rst_on_closed_bug`` server violates this at depth 3.
+    """
+    for i, symbol in enumerate(trace.inputs):
+        if not str(symbol).startswith("RST_STREAM"):
+            continue
+        response_seen = any("DATA" in str(o) for o in trace.outputs[:i])
+        if response_seen and not _goaway_before(trace, i):
+            if "GOAWAY" in str(trace.outputs[i]):
+                return False
+    return True
+
+
+STANDARD_PROPERTIES: tuple[HTTP2Property, ...] = (
+    HTTP2Property(
+        name="no-data-before-headers",
+        description="response DATA only after response HEADERS",
+        predicate=no_data_before_headers,
+    ),
+    HTTP2Property(
+        name="goaway-terminal",
+        description="no frames follow a server GOAWAY",
+        predicate=goaway_is_terminal,
+    ),
+    HTTP2Property(
+        name="settings-acked",
+        description="SETTINGS on a live connection draws SETTINGS[ACK]",
+        predicate=settings_always_acked,
+    ),
+    HTTP2Property(
+        name="rst-after-response-tolerated",
+        description="RST_STREAM on a closed stream is ignored, not GOAWAY",
+        predicate=rst_after_response_tolerated,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class PropertyResult:
+    property: HTTP2Property
+    violation: PropertyViolation | None
+
+    @property
+    def holds(self) -> bool:
+        return self.violation is None
+
+
+def check_http2_properties(
+    model: MealyMachine,
+    properties: Sequence[HTTP2Property] = STANDARD_PROPERTIES,
+    depth: int = 5,
+) -> list[PropertyResult]:
+    """Exhaustively check each property on all model traces up to depth."""
+    results = []
+    for prop in properties:
+        violation = check_invariant(model, prop.predicate, depth)
+        results.append(PropertyResult(property=prop, violation=violation))
+    return results
+
+
+def render_results(results: Sequence[PropertyResult]) -> str:
+    lines = []
+    for result in results:
+        status = "holds" if result.holds else "VIOLATED"
+        lines.append(f"{result.property.name:<32} {status}")
+        if result.violation is not None:
+            lines.append(f"    witness: {result.violation.trace.render()[:120]}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Below-abstraction check: stream-id monotonicity over concrete params
+# ---------------------------------------------------------------------------
+
+def stream_id_violations(oracle_table: OracleTable) -> list[tuple[IOTrace, int]]:
+    """Entries whose HEADERS-opening stream ids fail to strictly increase.
+
+    RFC 9113 section 5.1.1: stream identifiers used by a client are odd
+    and strictly increasing.  Stream ids never reach abstract symbols, so
+    the check reads the Oracle Table's concrete input parameters: for each
+    recorded query, the ``sid`` of every HEADERS frame that opened a new
+    stream must be odd and larger than all ids opened before it.  Returns
+    ``(abstract trace, offending step index)`` pairs; empty means the
+    property holds over everything observed.
+    """
+    violations: list[tuple[IOTrace, int]] = []
+    for entry in oracle_table:
+        highest = 0
+        for index, step in enumerate(entry.steps):
+            if not str(step.input_symbol).startswith("HEADERS"):
+                continue
+            sid = step.input_params.get("sid", 0)
+            if sid == highest:
+                continue  # trailers on the currently open stream
+            if sid < highest or sid % 2 == 0:
+                violations.append((entry.abstract, index))
+                break
+            highest = sid
+    return violations
+
+
+def check_stream_id_monotonicity(oracle_table: OracleTable) -> bool:
+    """True when every recorded query used odd, increasing stream ids."""
+    return not stream_id_violations(oracle_table)

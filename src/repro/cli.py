@@ -88,6 +88,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_properties(args: argparse.Namespace) -> int:
+    if args.target.startswith("http2"):
+        from .analysis.http2_properties import (
+            check_http2_properties,
+            render_results,
+        )
+
+        with _learn(args.target) as experiment:
+            results = check_http2_properties(experiment.model, depth=args.depth)
+        print(render_results(results))
+        return 0 if all(r.holds for r in results) else 1
+
     from .analysis.quic_properties import (
         DESIGN_PROBES,
         STANDARD_PROPERTIES,
@@ -96,7 +107,7 @@ def _cmd_properties(args: argparse.Namespace) -> int:
     )
 
     if not args.target.startswith("quic-"):
-        print("the property suite applies to QUIC targets", file=sys.stderr)
+        print("the property suite applies to QUIC and HTTP/2 targets", file=sys.stderr)
         return 2
     with _learn(args.target) as experiment:
         properties = STANDARD_PROPERTIES + (DESIGN_PROBES if args.probes else ())

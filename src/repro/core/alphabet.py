@@ -263,6 +263,109 @@ def parse_quic_output(text: str) -> QUICOutput:
     return QUICOutput.make(parse_quic_symbol(part) for part in parts)
 
 
+#: HTTP/2 frame types (RFC 9113 section 6).
+HTTP2_FRAME_KINDS = (
+    "DATA",
+    "HEADERS",
+    "PRIORITY",
+    "RST_STREAM",
+    "SETTINGS",
+    "PUSH_PROMISE",
+    "PING",
+    "GOAWAY",
+    "WINDOW_UPDATE",
+    "CONTINUATION",
+)
+
+#: HTTP/2 frame flag names the abstraction renders (RFC 9113 section 6).
+HTTP2_FLAG_NAMES = ("ACK", "END_HEADERS", "END_STREAM", "PADDED", "PRIORITY")
+
+
+@dataclass(frozen=True, order=True)
+class HTTP2Symbol(AbstractSymbol):
+    """An HTTP/2 abstract symbol such as ``HEADERS[END_HEADERS,END_STREAM]``.
+
+    ``kind`` is one of :data:`HTTP2_FRAME_KINDS`; ``flags`` is the tuple of
+    set flag names in canonical (sorted) order.  Stream identifiers and
+    payloads are abstracted away -- they live in the Oracle Table's concrete
+    parameters, where the stream-id monotonicity check reads them back.
+    """
+
+    kind: str = "PING"
+    flags: tuple[str, ...] = ()
+
+    @classmethod
+    def make(cls, kind: str, flags: Iterable[str] = ()) -> "HTTP2Symbol":
+        """Build a canonical symbol, validating frame kind and flag names."""
+        kind = kind.upper()
+        if kind not in HTTP2_FRAME_KINDS:
+            raise SymbolError(f"unknown HTTP/2 frame kind: {kind!r}")
+        flag_tuple = tuple(sorted(f.upper() for f in flags))
+        unknown = set(flag_tuple) - set(HTTP2_FLAG_NAMES)
+        if unknown:
+            raise SymbolError(f"unknown HTTP/2 frame flags: {sorted(unknown)}")
+        label = f"{kind}[{','.join(flag_tuple)}]"
+        return cls(label=label, kind=kind, flags=flag_tuple)
+
+
+_HTTP2_SYMBOL_RE = re.compile(r"^(?P<kind>[A-Z_]+)\[(?P<flags>[A-Z_,]*)\]$")
+
+
+def parse_http2_symbol(text: str) -> HTTP2Symbol:
+    """Parse an HTTP/2 frame symbol, e.g. ``SETTINGS[ACK]`` or ``DATA[]``."""
+    match = _HTTP2_SYMBOL_RE.match(text.strip())
+    if match is None:
+        raise SymbolError(f"malformed HTTP/2 symbol: {text!r}")
+    flags = [f for f in match.group("flags").split(",") if f]
+    return HTTP2Symbol.make(match.group("kind"), flags)
+
+
+@dataclass(frozen=True, order=True)
+class HTTP2Output(AbstractSymbol):
+    """An abstract HTTP/2 *output*: the frame sequence sent in response.
+
+    Unlike :class:`QUICOutput` (a multiset of independent packets), frame
+    order on the HTTP/2 byte stream is meaningful, so the sequence is kept
+    as received and rendered ``HEADERS[END_HEADERS]+DATA[END_STREAM]``;
+    an empty response is ``NIL``.
+    """
+
+    frames: tuple[HTTP2Symbol, ...] = ()
+
+    @classmethod
+    def make(cls, frames: Iterable[HTTP2Symbol]) -> "HTTP2Output":
+        ordered = tuple(frames)
+        label = "+".join(f.label for f in ordered) or "NIL"
+        return cls(label=label, frames=ordered)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.frames
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self) -> Iterator[HTTP2Symbol]:
+        return iter(self.frames)
+
+    def kinds(self) -> tuple[str, ...]:
+        """The frame kinds in response order."""
+        return tuple(f.kind for f in self.frames)
+
+
+#: Canonical empty HTTP/2 output, rendered ``NIL``.
+HTTP2_EMPTY_OUTPUT = HTTP2Output.make(())
+
+
+def parse_http2_output(text: str) -> HTTP2Output:
+    """Parse a rendered frame sequence such as
+    ``HEADERS[END_HEADERS]+DATA[END_STREAM]`` (or ``NIL``)."""
+    text = text.strip()
+    if text == "NIL":
+        return HTTP2_EMPTY_OUTPUT
+    return HTTP2Output.make(parse_http2_symbol(part) for part in text.split("+"))
+
+
 @dataclass(frozen=True)
 class Alphabet:
     """An ordered, indexable collection of abstract symbols."""
@@ -307,6 +410,8 @@ _SYMBOL_PARSERS = {
     "tcp": lambda text: parse_tcp_symbol(text),
     "quic": lambda text: parse_quic_symbol(text),
     "quic-output": lambda text: parse_quic_output(text),
+    "http2": lambda text: parse_http2_symbol(text),
+    "http2-output": lambda text: parse_http2_output(text),
     "raw": lambda text: AbstractSymbol(label=text),
 }
 
@@ -324,6 +429,10 @@ def serialize_symbol(symbol: AbstractSymbol) -> dict:
         kind = "quic-output"
     elif isinstance(symbol, QUICSymbol):
         kind = "quic"
+    elif isinstance(symbol, HTTP2Output):
+        kind = "http2-output"
+    elif isinstance(symbol, HTTP2Symbol):
+        kind = "http2"
     else:
         kind = "raw"
     return {"kind": kind, "text": symbol.label}
@@ -361,6 +470,26 @@ def tcp_handshake_alphabet() -> Alphabet:
     """The 2-symbol alphabet used to learn the 3-way handshake (Fig. 3)."""
     return Alphabet.of(
         [parse_tcp_symbol("SYN(?,?,0)"), parse_tcp_symbol("ACK(?,?,0)")]
+    )
+
+
+def http2_alphabet() -> Alphabet:
+    """The 7-symbol HTTP/2 abstract input alphabet.
+
+    Mirrors the size of the paper's TCP and QUIC alphabets: the connection
+    handshake (SETTINGS), a complete request, an open request plus its
+    final body chunk, stream cancellation, liveness, and shutdown.
+    """
+    return Alphabet.of(
+        [
+            parse_http2_symbol("SETTINGS[]"),
+            parse_http2_symbol("HEADERS[END_HEADERS,END_STREAM]"),
+            parse_http2_symbol("HEADERS[END_HEADERS]"),
+            parse_http2_symbol("DATA[END_STREAM]"),
+            parse_http2_symbol("RST_STREAM[]"),
+            parse_http2_symbol("PING[]"),
+            parse_http2_symbol("GOAWAY[]"),
+        ]
     )
 
 

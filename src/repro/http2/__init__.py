@@ -1,0 +1,37 @@
+"""HTTP/2 workload: frame codec, HPACK, streams, server and client."""
+
+from .client import HTTP2Client, HTTP2ClientConfig
+from .frames import (
+    CONNECTION_PREFACE,
+    ErrorCode,
+    Frame,
+    FrameDecoder,
+    FrameError,
+    FrameType,
+    Setting,
+)
+from .hpack import HPACKDecoder, HPACKEncoder, HPACKError, STATIC_TABLE
+from .server import ConnectionState, HTTP2Server, HTTP2ServerConfig
+from .stream import H2Stream, StreamError, StreamState
+
+__all__ = [
+    "CONNECTION_PREFACE",
+    "ConnectionState",
+    "ErrorCode",
+    "Frame",
+    "FrameDecoder",
+    "FrameError",
+    "FrameType",
+    "H2Stream",
+    "HPACKDecoder",
+    "HPACKEncoder",
+    "HPACKError",
+    "HTTP2Client",
+    "HTTP2ClientConfig",
+    "HTTP2Server",
+    "HTTP2ServerConfig",
+    "STATIC_TABLE",
+    "Setting",
+    "StreamError",
+    "StreamState",
+]

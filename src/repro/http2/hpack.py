@@ -1,0 +1,223 @@
+"""A minimal static-table HPACK codec (RFC 7541).
+
+Implements exactly the subset the in-process workload needs: the 61-entry
+static table, prefix-coded integers (section 5.1) and plain (non-Huffman)
+string literals (section 5.2).  The encoder emits only representations a
+dynamic-table-free decoder can read -- indexed fields and literals
+*without* indexing -- and the decoder rejects representations that would
+require a dynamic table, loudly rather than silently mis-decoding.
+"""
+
+from __future__ import annotations
+
+
+class HPACKError(ValueError):
+    """A malformed or unsupported header block."""
+
+
+#: The static table of RFC 7541 Appendix A (1-indexed on the wire).
+STATIC_TABLE: tuple[tuple[str, str], ...] = (
+    (":authority", ""),
+    (":method", "GET"),
+    (":method", "POST"),
+    (":path", "/"),
+    (":path", "/index.html"),
+    (":scheme", "http"),
+    (":scheme", "https"),
+    (":status", "200"),
+    (":status", "204"),
+    (":status", "206"),
+    (":status", "304"),
+    (":status", "400"),
+    (":status", "404"),
+    (":status", "500"),
+    ("accept-charset", ""),
+    ("accept-encoding", "gzip, deflate"),
+    ("accept-language", ""),
+    ("accept-ranges", ""),
+    ("accept", ""),
+    ("access-control-allow-origin", ""),
+    ("age", ""),
+    ("allow", ""),
+    ("authorization", ""),
+    ("cache-control", ""),
+    ("content-disposition", ""),
+    ("content-encoding", ""),
+    ("content-language", ""),
+    ("content-length", ""),
+    ("content-location", ""),
+    ("content-range", ""),
+    ("content-type", ""),
+    ("cookie", ""),
+    ("date", ""),
+    ("etag", ""),
+    ("expect", ""),
+    ("expires", ""),
+    ("from", ""),
+    ("host", ""),
+    ("if-match", ""),
+    ("if-modified-since", ""),
+    ("if-none-match", ""),
+    ("if-range", ""),
+    ("if-unmodified-since", ""),
+    ("last-modified", ""),
+    ("link", ""),
+    ("location", ""),
+    ("max-forwards", ""),
+    ("proxy-authenticate", ""),
+    ("proxy-authorization", ""),
+    ("range", ""),
+    ("referer", ""),
+    ("refresh", ""),
+    ("retry-after", ""),
+    ("server", ""),
+    ("set-cookie", ""),
+    ("strict-transport-security", ""),
+    ("transfer-encoding", ""),
+    ("user-agent", ""),
+    ("vary", ""),
+    ("via", ""),
+    ("www-authenticate", ""),
+)
+
+#: (name, value) -> wire index for full matches.
+_FIELD_INDEX = {field: i + 1 for i, field in enumerate(STATIC_TABLE)}
+#: name -> wire index of its first entry, for name-only matches.
+_NAME_INDEX: dict[str, int] = {}
+for _i, (_name, _value) in enumerate(STATIC_TABLE):
+    _NAME_INDEX.setdefault(_name, _i + 1)
+
+
+# ---------------------------------------------------------------------------
+# Primitive codecs
+# ---------------------------------------------------------------------------
+
+def encode_integer(value: int, prefix_bits: int) -> bytearray:
+    """Prefix-code ``value`` into ``prefix_bits`` low bits plus continuation
+    octets (RFC 7541 section 5.1).  High prefix bits are left zero for the
+    caller to OR the representation pattern into."""
+    if value < 0:
+        raise HPACKError(f"cannot encode negative integer: {value}")
+    limit = (1 << prefix_bits) - 1
+    if value < limit:
+        return bytearray([value])
+    out = bytearray([limit])
+    value -= limit
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return out
+
+
+def decode_integer(data: bytes, offset: int, prefix_bits: int) -> tuple[int, int]:
+    """Decode a prefix-coded integer; returns ``(value, next_offset)``."""
+    limit = (1 << prefix_bits) - 1
+    try:
+        value = data[offset] & limit
+        offset += 1
+        if value < limit:
+            return value, offset
+        shift = 0
+        while True:
+            octet = data[offset]
+            offset += 1
+            value += (octet & 0x7F) << shift
+            shift += 7
+            if not octet & 0x80:
+                return value, offset
+    except IndexError:
+        raise HPACKError("truncated integer") from None
+
+
+def encode_string(text: str) -> bytearray:
+    """A plain (non-Huffman) length-prefixed string literal."""
+    raw = text.encode("utf-8")
+    out = encode_integer(len(raw), 7)  # H bit stays 0: no Huffman
+    out.extend(raw)
+    return out
+
+
+def decode_string(data: bytes, offset: int) -> tuple[str, int]:
+    if offset >= len(data):
+        raise HPACKError("truncated string literal")
+    if data[offset] & 0x80:
+        raise HPACKError("Huffman-coded strings are not supported")
+    length, offset = decode_integer(data, offset, 7)
+    if offset + length > len(data):
+        raise HPACKError("string literal overruns the header block")
+    return data[offset : offset + length].decode("utf-8"), offset + length
+
+
+# ---------------------------------------------------------------------------
+# Header-block codec
+# ---------------------------------------------------------------------------
+
+class HPACKEncoder:
+    """Encodes header lists against the static table only.
+
+    Full (name, value) matches become indexed fields; name-only matches
+    become literals without indexing with an indexed name; everything else
+    is a literal without indexing with a literal name.  No representation
+    the encoder emits requires the peer to maintain a dynamic table.
+    """
+
+    def encode(self, headers: list[tuple[str, str]] | tuple) -> bytes:
+        block = bytearray()
+        for name, value in headers:
+            index = _FIELD_INDEX.get((name, value))
+            if index is not None:
+                encoded = encode_integer(index, 7)
+                encoded[0] |= 0x80  # indexed field: '1' pattern
+                block.extend(encoded)
+                continue
+            name_index = _NAME_INDEX.get(name)
+            if name_index is not None:
+                encoded = encode_integer(name_index, 4)  # '0000' pattern
+                block.extend(encoded)
+            else:
+                block.append(0x00)  # literal name, '0000' pattern, index 0
+                block.extend(encode_string(name))
+            block.extend(encode_string(value))
+        return bytes(block)
+
+
+class HPACKDecoder:
+    """Decodes header blocks produced by a static-table-only encoder.
+
+    Representations that require a dynamic table -- incremental-indexing
+    literals, table-size updates, or indices beyond the static table --
+    raise :class:`HPACKError` instead of silently desynchronizing.
+    """
+
+    def decode(self, block: bytes) -> list[tuple[str, str]]:
+        headers: list[tuple[str, str]] = []
+        offset = 0
+        while offset < len(block):
+            first = block[offset]
+            if first & 0x80:  # indexed header field
+                index, offset = decode_integer(block, offset, 7)
+                headers.append(self._lookup(index))
+            elif first & 0x40:
+                raise HPACKError(
+                    "incremental indexing requires a dynamic table (unsupported)"
+                )
+            elif first & 0x20:
+                raise HPACKError(
+                    "dynamic table size update is unsupported (static table only)"
+                )
+            else:  # literal without indexing (0x00) or never indexed (0x10)
+                index, offset = decode_integer(block, offset, 4)
+                if index:
+                    name = self._lookup(index)[0]
+                else:
+                    name, offset = decode_string(block, offset)
+                value, offset = decode_string(block, offset)
+                headers.append((name, value))
+        return headers
+
+    @staticmethod
+    def _lookup(index: int) -> tuple[str, str]:
+        if not 1 <= index <= len(STATIC_TABLE):
+            raise HPACKError(f"header index {index} outside the static table")
+        return STATIC_TABLE[index - 1]

@@ -151,7 +151,7 @@ def load_builtins() -> None:
     # Flag only flips once every import succeeded; a failed import leaves
     # it unset so the next call retries (and re-raises the real error)
     # instead of silently no-op'ing over half-populated registries.
-    from .adapter import mealy_sul, tcp_adapter, quic_adapter  # noqa: F401
+    from .adapter import http2_adapter, mealy_sul, tcp_adapter, quic_adapter  # noqa: F401
     from .learn import cache, equivalence, lstar, nondeterminism, ttt  # noqa: F401
 
     _BUILTINS_LOADED = True

@@ -1,0 +1,103 @@
+"""Tests for the HTTP/2 property suite against learned models."""
+
+import pytest
+
+from repro.analysis.http2_properties import (
+    STANDARD_PROPERTIES,
+    check_http2_properties,
+    check_stream_id_monotonicity,
+    render_results,
+    stream_id_violations,
+)
+from repro.core.oracle_table import OracleTable
+from repro.core.alphabet import parse_http2_symbol
+from repro.experiments import learn_http2
+
+
+@pytest.fixture(scope="module")
+def conformant():
+    experiment = learn_http2()
+    yield experiment
+    experiment.close()
+
+
+@pytest.fixture(scope="module")
+def buggy():
+    experiment = learn_http2(rst_on_closed_bug=True)
+    yield experiment
+    experiment.close()
+
+
+class TestConformantServer:
+    def test_all_properties_hold(self, conformant):
+        results = check_http2_properties(conformant.model, depth=5)
+        assert all(result.holds for result in results)
+
+    def test_render_lists_every_property(self, conformant):
+        results = check_http2_properties(conformant.model, depth=3)
+        rendered = render_results(results)
+        for prop in STANDARD_PROPERTIES:
+            assert prop.name in rendered
+        assert "VIOLATED" not in rendered
+
+    def test_stream_ids_monotonic(self, conformant):
+        oracle_table = conformant.prognosis.sul.oracle_table
+        assert len(oracle_table) > 0
+        assert check_stream_id_monotonicity(oracle_table)
+
+
+class TestBuggyServer:
+    def test_quirk_flagged_by_rst_property(self, buggy):
+        """Acceptance: the seeded quirk is caught by a named property."""
+        results = {r.property.name: r for r in check_http2_properties(buggy.model)}
+        violated = results["rst-after-response-tolerated"]
+        assert not violated.holds
+        witness = violated.violation.trace.render()
+        assert "RST_STREAM[]/GOAWAY[]" in witness
+
+    def test_other_properties_still_hold(self, buggy):
+        results = check_http2_properties(buggy.model)
+        holding = {r.property.name for r in results if r.holds}
+        assert holding == {
+            "no-data-before-headers",
+            "goaway-terminal",
+            "settings-acked",
+        }
+
+    def test_render_marks_violation_with_witness(self, buggy):
+        rendered = render_results(check_http2_properties(buggy.model))
+        assert "VIOLATED" in rendered
+        assert "witness:" in rendered
+
+
+class TestStreamIdCheck:
+    def word(self, *labels):
+        return tuple(parse_http2_symbol(label) for label in labels)
+
+    def record(self, table, sids):
+        """One fake query of HEADERS inputs with the given stream ids."""
+        inputs = self.word(*(["HEADERS[END_HEADERS,END_STREAM]"] * len(sids)))
+        outputs = self.word(*(["HEADERS[END_HEADERS]"] * len(sids)))
+        table.record(
+            inputs,
+            outputs,
+            [{"sid": sid} for sid in sids],
+            [{} for _ in sids],
+        )
+
+    def test_decreasing_ids_flagged(self):
+        table = OracleTable()
+        self.record(table, [3, 1])
+        violations = stream_id_violations(table)
+        assert len(violations) == 1
+        assert violations[0][1] == 1  # the offending step index
+
+    def test_even_ids_flagged(self):
+        table = OracleTable()
+        self.record(table, [2])
+        assert not check_stream_id_monotonicity(table)
+
+    def test_repeated_id_means_trailers(self):
+        table = OracleTable()
+        self.record(table, [1, 1, 3])
+        assert check_stream_id_monotonicity(table)

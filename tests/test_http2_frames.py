@@ -1,0 +1,155 @@
+"""Tests for the HTTP/2 frame codec: wire round-trips and the decoder."""
+
+import pytest
+
+from repro.http2.frames import (
+    DEFAULT_MAX_FRAME_SIZE,
+    ErrorCode,
+    FLAG_ACK,
+    FLAG_END_STREAM,
+    Frame,
+    FrameDecoder,
+    FrameError,
+    FrameType,
+    Setting,
+    data_frame,
+    goaway_frame,
+    headers_frame,
+    parse_goaway,
+    parse_rst_stream,
+    parse_settings,
+    parse_window_update,
+    ping_frame,
+    rst_stream_frame,
+    settings_frame,
+    window_update_frame,
+)
+
+
+def roundtrip(frame: Frame) -> Frame:
+    decoded, consumed = Frame.decode(frame.encode())
+    assert consumed == len(frame.encode())
+    return decoded
+
+
+class TestFrameCodec:
+    def test_header_layout(self):
+        frame = Frame(FrameType.DATA, FLAG_END_STREAM, 7, b"abc")
+        wire = frame.encode()
+        assert wire[:3] == (3).to_bytes(3, "big")
+        assert wire[3] == FrameType.DATA
+        assert wire[4] == FLAG_END_STREAM
+        assert int.from_bytes(wire[5:9], "big") == 7
+        assert wire[9:] == b"abc"
+
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            data_frame(1, b"hello", end_stream=True),
+            headers_frame(3, b"\x82\x84", end_stream=False),
+            headers_frame(5, b"", end_stream=True),
+            rst_stream_frame(1, ErrorCode.CANCEL),
+            settings_frame({Setting.ENABLE_PUSH: 0, Setting.MAX_FRAME_SIZE: 16384}),
+            settings_frame(ack=True),
+            ping_frame(b"12345678"),
+            ping_frame(b"12345678", ack=True),
+            goaway_frame(9, ErrorCode.PROTOCOL_ERROR, debug=b"dbg"),
+            window_update_frame(0, 1024),
+        ],
+        ids=lambda f: FrameType(f.frame_type).name,
+    )
+    def test_roundtrip(self, frame):
+        assert roundtrip(frame) == frame
+
+    def test_incomplete_buffer_returns_none(self):
+        wire = data_frame(1, b"hello").encode()
+        for cut in (0, 5, len(wire) - 1):
+            frame, consumed = Frame.decode(wire[:cut])
+            assert frame is None and consumed == 0
+
+    def test_oversized_frame_rejected(self):
+        wire = (DEFAULT_MAX_FRAME_SIZE + 1).to_bytes(3, "big") + bytes(6)
+        with pytest.raises(FrameError):
+            Frame.decode(wire)
+
+    def test_stream_id_out_of_range(self):
+        with pytest.raises(FrameError):
+            Frame(FrameType.DATA, 0, 2**31)
+
+    def test_flag_names_per_type(self):
+        headers = headers_frame(1, b"", end_stream=True)
+        assert headers.flag_names() == ("END_STREAM", "END_HEADERS")
+        assert settings_frame(ack=True).flag_names() == ("ACK",)
+        # The ACK bit position equals END_STREAM's, but only the names
+        # defined for the type are rendered.
+        assert FLAG_ACK == FLAG_END_STREAM
+        assert rst_stream_frame(1, 0).flag_names() == ()
+
+    def test_end_stream_only_on_data_and_headers(self):
+        assert data_frame(1, b"", end_stream=True).end_stream
+        assert headers_frame(1, b"", end_stream=True).end_stream
+        assert not settings_frame(ack=True).end_stream  # ACK bit, not END_STREAM
+
+
+class TestPayloadParsers:
+    def test_settings_roundtrip(self):
+        frame = settings_frame({Setting.MAX_CONCURRENT_STREAMS: 16})
+        assert parse_settings(frame) == {Setting.MAX_CONCURRENT_STREAMS: 16}
+
+    def test_settings_ack_must_be_empty(self):
+        with pytest.raises(FrameError):
+            settings_frame({Setting.ENABLE_PUSH: 0}, ack=True)
+
+    def test_settings_bad_length(self):
+        with pytest.raises(FrameError):
+            parse_settings(Frame(FrameType.SETTINGS, 0, 0, b"\x00\x01"))
+
+    def test_rst_stream_roundtrip(self):
+        assert parse_rst_stream(rst_stream_frame(3, ErrorCode.STREAM_CLOSED)) == (
+            ErrorCode.STREAM_CLOSED
+        )
+
+    def test_goaway_roundtrip(self):
+        last, code = parse_goaway(goaway_frame(5, ErrorCode.NO_ERROR))
+        assert (last, code) == (5, ErrorCode.NO_ERROR)
+
+    def test_window_update_roundtrip(self):
+        assert parse_window_update(window_update_frame(1, 4096)) == 4096
+
+    def test_window_update_zero_increment_rejected(self):
+        with pytest.raises(FrameError):
+            window_update_frame(1, 0)
+
+    def test_ping_payload_length_enforced(self):
+        with pytest.raises(FrameError):
+            ping_frame(b"short")
+
+
+class TestFrameDecoder:
+    def frames(self):
+        return [
+            settings_frame({Setting.ENABLE_PUSH: 0}),
+            headers_frame(1, b"\x82", end_stream=True),
+            ping_frame(b"abcdefgh"),
+        ]
+
+    def test_single_feed(self):
+        wire = b"".join(f.encode() for f in self.frames())
+        assert FrameDecoder().feed(wire) == self.frames()
+
+    def test_byte_at_a_time(self):
+        decoder = FrameDecoder()
+        wire = b"".join(f.encode() for f in self.frames())
+        out = []
+        for i in range(len(wire)):
+            out.extend(decoder.feed(wire[i : i + 1]))
+        assert out == self.frames()
+        assert decoder.buffered == 0
+
+    def test_split_mid_frame(self):
+        decoder = FrameDecoder()
+        wire = data_frame(1, b"payload", end_stream=True).encode()
+        assert decoder.feed(wire[:10]) == []
+        assert decoder.buffered == 10
+        (frame,) = decoder.feed(wire[10:])
+        assert frame.payload == b"payload"

@@ -1,0 +1,104 @@
+"""Tests for the static-table HPACK codec: primitives and round-trips."""
+
+import pytest
+
+from repro.http2.hpack import (
+    HPACKDecoder,
+    HPACKEncoder,
+    HPACKError,
+    STATIC_TABLE,
+    decode_integer,
+    decode_string,
+    encode_integer,
+    encode_string,
+)
+
+
+class TestIntegerCodec:
+    @pytest.mark.parametrize("value", [0, 1, 30, 31, 32, 127, 128, 1337, 100_000])
+    @pytest.mark.parametrize("prefix", [4, 5, 7])
+    def test_roundtrip(self, value, prefix):
+        wire = encode_integer(value, prefix)
+        decoded, offset = decode_integer(bytes(wire), 0, prefix)
+        assert decoded == value
+        assert offset == len(wire)
+
+    def test_rfc_example_1337_with_5bit_prefix(self):
+        # RFC 7541 C.1.2: 1337 with a 5-bit prefix is 1f 9a 0a.
+        assert bytes(encode_integer(1337, 5)) == b"\x1f\x9a\x0a"
+
+    def test_truncated_integer_raises(self):
+        with pytest.raises(HPACKError):
+            decode_integer(b"\x1f", 0, 5)  # continuation octets missing
+
+    def test_negative_rejected(self):
+        with pytest.raises(HPACKError):
+            encode_integer(-1, 7)
+
+
+class TestStringCodec:
+    def test_roundtrip(self):
+        wire = bytes(encode_string("custom-value"))
+        text, offset = decode_string(wire, 0)
+        assert text == "custom-value"
+        assert offset == len(wire)
+
+    def test_huffman_bit_rejected(self):
+        with pytest.raises(HPACKError):
+            decode_string(b"\x81\x00", 0)
+
+    def test_overrun_rejected(self):
+        with pytest.raises(HPACKError):
+            decode_string(b"\x05ab", 0)  # claims 5 octets, has 2
+
+
+class TestHeaderBlocks:
+    def test_static_table_has_61_entries(self):
+        assert len(STATIC_TABLE) == 61
+        assert STATIC_TABLE[1] == (":method", "GET")
+        assert STATIC_TABLE[60] == ("www-authenticate", "")
+
+    def test_fully_indexed_request(self):
+        # All four pseudo-header fields fully match static entries, so the
+        # block is exactly one indexed octet per header.
+        headers = [(":method", "GET"), (":path", "/"), (":scheme", "http")]
+        block = HPACKEncoder().encode(headers)
+        assert block == b"\x82\x84\x86"
+        assert HPACKDecoder().decode(block) == headers
+
+    def test_name_match_value_literal(self):
+        headers = [(":status", "418")]
+        block = HPACKEncoder().encode(headers)
+        assert block[0] == 0x08  # literal w/o indexing, name index 8
+        assert HPACKDecoder().decode(block) == headers
+
+    def test_unknown_name_fully_literal(self):
+        headers = [("x-prognosis", "closed-box")]
+        block = HPACKEncoder().encode(headers)
+        assert block[0] == 0x00
+        assert HPACKDecoder().decode(block) == headers
+
+    def test_mixed_block_roundtrip(self):
+        headers = [
+            (":method", "POST"),
+            (":path", "/learn"),
+            ("content-type", "application/json"),
+            ("x-seed", "9"),
+        ]
+        assert HPACKDecoder().decode(HPACKEncoder().encode(headers)) == headers
+
+    def test_incremental_indexing_rejected(self):
+        with pytest.raises(HPACKError):
+            HPACKDecoder().decode(b"\x42\x03abc")  # '01' pattern: dynamic table
+
+    def test_table_size_update_rejected(self):
+        with pytest.raises(HPACKError):
+            HPACKDecoder().decode(b"\x3f\xe1\x1f")
+
+    def test_index_beyond_static_table_rejected(self):
+        with pytest.raises(HPACKError):
+            HPACKDecoder().decode(bytes([0x80 | 62]))
+
+    def test_index_zero_rejected(self):
+        with pytest.raises(HPACKError):
+            HPACKDecoder().decode(b"\x80")

@@ -1,0 +1,137 @@
+"""Tests for the RFC 9113 section 5.1 per-stream state machine."""
+
+import pytest
+
+from repro.http2.frames import ErrorCode
+from repro.http2.stream import H2Stream, StreamError, StreamState
+
+
+def stream(state=StreamState.IDLE) -> H2Stream:
+    return H2Stream(1, state=state)
+
+
+class TestReceiveTransitions:
+    """The server-side transition table, one row per (state, event)."""
+
+    def test_idle_headers_opens(self):
+        s = stream()
+        s.receive_headers(end_stream=False)
+        assert s.state is StreamState.OPEN
+
+    def test_idle_headers_with_end_stream_half_closes(self):
+        s = stream()
+        s.receive_headers(end_stream=True)
+        assert s.state is StreamState.HALF_CLOSED_REMOTE
+
+    def test_idle_data_is_connection_error(self):
+        with pytest.raises(StreamError) as err:
+            stream().receive_data(b"x", end_stream=False)
+        assert err.value.error_code is ErrorCode.PROTOCOL_ERROR
+        assert err.value.connection_error
+
+    def test_idle_rst_is_connection_error(self):
+        with pytest.raises(StreamError) as err:
+            stream().receive_rst()
+        assert err.value.connection_error
+
+    def test_open_data_stays_open(self):
+        s = stream(StreamState.OPEN)
+        s.receive_data(b"x", end_stream=False)
+        assert s.state is StreamState.OPEN
+        assert bytes(s.received_data) == b"x"
+
+    def test_open_data_end_stream_half_closes(self):
+        s = stream(StreamState.OPEN)
+        s.receive_data(b"x", end_stream=True)
+        assert s.state is StreamState.HALF_CLOSED_REMOTE
+
+    def test_open_trailers_require_end_stream(self):
+        s = stream(StreamState.OPEN)
+        with pytest.raises(StreamError) as err:
+            s.receive_headers(end_stream=False)
+        assert err.value.error_code is ErrorCode.PROTOCOL_ERROR
+        assert not err.value.connection_error  # stream error: RST, not GOAWAY
+
+    def test_open_trailers_with_end_stream(self):
+        s = stream(StreamState.OPEN)
+        s.receive_headers(end_stream=True)
+        assert s.state is StreamState.HALF_CLOSED_REMOTE
+        assert s.trailers_received
+
+    def test_open_rst_closes(self):
+        s = stream(StreamState.OPEN)
+        s.receive_rst()
+        assert s.closed
+
+    def test_half_closed_remote_data_is_stream_closed(self):
+        s = stream(StreamState.HALF_CLOSED_REMOTE)
+        with pytest.raises(StreamError) as err:
+            s.receive_data(b"x", end_stream=False)
+        assert err.value.error_code is ErrorCode.STREAM_CLOSED
+        assert err.value.connection_error
+
+    def test_half_closed_remote_headers_is_stream_closed(self):
+        with pytest.raises(StreamError):
+            stream(StreamState.HALF_CLOSED_REMOTE).receive_headers(end_stream=True)
+
+    def test_half_closed_remote_rst_closes(self):
+        s = stream(StreamState.HALF_CLOSED_REMOTE)
+        s.receive_rst()
+        assert s.closed
+
+    def test_half_closed_local_end_stream_closes(self):
+        s = stream(StreamState.HALF_CLOSED_LOCAL)
+        s.receive_data(b"x", end_stream=True)
+        assert s.closed
+
+
+class TestSendTransitions:
+    def test_idle_send_headers_opens(self):
+        s = stream()
+        s.send_headers(end_stream=False)
+        assert s.state is StreamState.OPEN
+
+    def test_half_closed_remote_response_closes(self):
+        # The server's normal response path: HEADERS then final DATA.
+        s = stream(StreamState.HALF_CLOSED_REMOTE)
+        s.send_headers(end_stream=False)
+        assert s.state is StreamState.HALF_CLOSED_REMOTE
+        s.send_data(end_stream=True)
+        assert s.closed
+
+    def test_open_send_end_stream_half_closes_local(self):
+        s = stream(StreamState.OPEN)
+        s.send_data(end_stream=True)
+        assert s.state is StreamState.HALF_CLOSED_LOCAL
+
+    def test_send_on_closed_raises(self):
+        with pytest.raises(StreamError):
+            stream(StreamState.CLOSED).send_data(end_stream=False)
+        with pytest.raises(StreamError):
+            stream(StreamState.CLOSED).send_headers(end_stream=False)
+
+    def test_send_rst_closes_any_state(self):
+        for state in (StreamState.OPEN, StreamState.HALF_CLOSED_REMOTE):
+            s = stream(state)
+            s.send_rst()
+            assert s.closed
+
+
+class TestFullLifecycles:
+    def test_simple_get(self):
+        """idle -> half-closed(remote) -> closed: HEADERS+ES, response."""
+        s = stream()
+        s.receive_headers(end_stream=True)
+        s.send_headers(end_stream=False)
+        s.send_data(end_stream=True)
+        assert s.closed
+
+    def test_post_with_body_and_trailers(self):
+        s = stream()
+        s.receive_headers(end_stream=False)
+        s.receive_data(b"body", end_stream=False)
+        s.receive_headers(end_stream=True)  # trailers
+        assert s.state is StreamState.HALF_CLOSED_REMOTE
+        s.send_headers(end_stream=False)
+        s.send_data(end_stream=True)
+        assert s.closed

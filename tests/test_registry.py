@@ -1,0 +1,101 @@
+"""Tests for the component registries: error paths and mutation semantics."""
+
+import pytest
+
+from repro.registry import (
+    EQ_ORACLE_REGISTRY,
+    LEARNER_REGISTRY,
+    MIDDLEWARE_REGISTRY,
+    Registry,
+    RegistryError,
+    SUL_REGISTRY,
+    load_builtins,
+    supported_kwargs,
+)
+
+
+@pytest.fixture
+def registry():
+    return Registry("widget")
+
+
+class TestErrorPaths:
+    def test_unknown_name_lists_registered_keys(self, registry):
+        registry.register("alpha", lambda: "a")
+        registry.register("beta", lambda: "b")
+        with pytest.raises(RegistryError) as err:
+            registry.create("gamma")
+        message = str(err.value)
+        assert "gamma" in message
+        assert "alpha, beta" in message  # sorted, comma-joined
+        assert "widget" in message
+
+    def test_empty_registry_message_says_none(self, registry):
+        with pytest.raises(RegistryError, match="<none>"):
+            registry.get("anything")
+
+    def test_registry_error_is_a_key_error(self, registry):
+        with pytest.raises(KeyError):
+            registry.get("missing")
+
+    def test_create_forwards_args_and_kwargs(self, registry):
+        registry.register("pair", lambda a, b=0: (a, b))
+        assert registry.create("pair", 1, b=2) == (1, 2)
+
+
+class TestMutation:
+    def test_reregistration_replaces_factory(self, registry):
+        registry.register("name", lambda: "old")
+        registry.register("name", lambda: "new")
+        assert registry.create("name") == "new"
+        assert len(registry) == 1  # replaced, not duplicated
+
+    def test_reregistration_keeps_original_order(self, registry):
+        registry.register("first", lambda: 1)
+        registry.register("second", lambda: 2)
+        registry.register("first", lambda: 10)
+        assert registry.names() == ("first", "second")
+
+    def test_unregister_missing_name_is_noop(self, registry):
+        registry.unregister("never-registered")  # must not raise
+        assert len(registry) == 0
+
+    def test_unregister_removes_entry(self, registry):
+        registry.register("gone", lambda: None)
+        registry.unregister("gone")
+        assert "gone" not in registry
+        with pytest.raises(RegistryError):
+            registry.get("gone")
+
+    def test_decorator_form_returns_function(self, registry):
+        @registry.register("decorated")
+        def factory():
+            return 42
+
+        assert factory() == 42  # decorator hands the function back
+        assert registry.create("decorated") == 42
+
+
+class TestBuiltins:
+    def test_all_protocol_targets_registered(self):
+        load_builtins()
+        for target in ("tcp", "quic-google", "http2", "http2-buggy", "toy"):
+            assert target in SUL_REGISTRY
+        for learner in ("ttt", "lstar"):
+            assert learner in LEARNER_REGISTRY
+        assert "wmethod" in EQ_ORACLE_REGISTRY
+        assert "cache" in MIDDLEWARE_REGISTRY
+
+    def test_supported_kwargs_filters_by_signature(self):
+        def factory(seed: int = 0):
+            return seed
+
+        params = {"seed": 7, "batch_size": 64}
+        assert supported_kwargs(factory, params) == {"seed": 7}
+
+    def test_supported_kwargs_passes_all_to_var_keyword(self):
+        def factory(**kwargs):
+            return kwargs
+
+        params = {"seed": 7, "batch_size": 64}
+        assert supported_kwargs(factory, params) == params
