@@ -100,9 +100,41 @@ class TCPAdapterSUL(SUL):
 
 
 @SUL_REGISTRY.register("tcp")
-def build_tcp_sul(seed: int = 3, relative_numbers: bool = True) -> TCPAdapterSUL:
-    """The full 7-symbol Linux-like TCP target (paper section 6.1)."""
-    return TCPAdapterSUL(seed=seed, relative_numbers=relative_numbers)
+def build_tcp_sul(
+    seed: int = 3,
+    relative_numbers: bool = True,
+    challenge_ack_rate_limit: bool = True,
+) -> TCPAdapterSUL:
+    """The full 7-symbol Linux-like TCP target (paper section 6.1).
+
+    ``challenge_ack_rate_limit=False`` disables the Linux challenge-ACK
+    rate limiter (the ablation of :class:`~repro.tcp.server
+    .TCPServerConfig`), collapsing the learned model -- a variant the
+    differential campaigns compare against the default.
+    """
+    return TCPAdapterSUL(
+        seed=seed,
+        relative_numbers=relative_numbers,
+        server_config=TCPServerConfig(
+            challenge_ack_rate_limit=challenge_ack_rate_limit
+        ),
+    )
+
+
+@SUL_REGISTRY.register("tcp-no-challenge-ack")
+def build_tcp_no_challenge_ack_sul(
+    seed: int = 3, relative_numbers: bool = True
+) -> TCPAdapterSUL:
+    """The ``tcp`` target with the challenge-ACK rate limiter disabled.
+
+    Registered in its own right so the ablation is reachable by name from
+    the CLI (``repro difftest tcp`` compares it against the default stack).
+    """
+    return build_tcp_sul(
+        seed=seed,
+        relative_numbers=relative_numbers,
+        challenge_ack_rate_limit=False,
+    )
 
 
 @SUL_REGISTRY.register("tcp-handshake")

@@ -48,6 +48,20 @@ class ModelDiff:
                 lines.append(f"    {line}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """A JSON-able encoding (campaign ``diff-*.json`` artifacts)."""
+        return {
+            "name_a": self.name_a,
+            "name_b": self.name_b,
+            "states_a": self.states_a,
+            "states_b": self.states_b,
+            "transitions_a": self.transitions_a,
+            "transitions_b": self.transitions_b,
+            "equivalent": self.equivalent,
+            "size_gap": self.size_gap,
+            "witnesses": [witness.to_dict() for witness in self.witnesses],
+        }
+
 
 def diff_models(
     a: MealyMachine, b: MealyMachine, max_witnesses: int = 5

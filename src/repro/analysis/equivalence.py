@@ -88,6 +88,16 @@ class DifferenceWitness:
         ]
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """A JSON-able rendering (difftest campaign artifacts)."""
+        return {
+            "word": [str(symbol) for symbol in self.word],
+            "outputs_a": [str(symbol) for symbol in self.trace_a.outputs],
+            "outputs_b": [str(symbol) for symbol in self.trace_b.outputs],
+            "name_a": self.name_a,
+            "name_b": self.name_b,
+        }
+
 
 def difference_witness(a: MealyMachine, b: MealyMachine) -> DifferenceWitness | None:
     """The full evidence object for the shortest difference, if any."""

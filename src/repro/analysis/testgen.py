@@ -40,6 +40,8 @@ def generate_test_suite(
         return model.w_method_suite(extra_states)
     rng = random.Random(seed)
     symbols = list(model.input_alphabet)
+    if not symbols:
+        return []  # an empty alphabet admits no non-empty words
     suite = []
     for _ in range(num_random):
         length = rng.randint(1, max_length)

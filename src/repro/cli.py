@@ -9,6 +9,9 @@ Gives the framework the shape of a releasable tool:
 * ``issues``     -- reproduce one of the paper's four findings
 * ``run``        -- execute a declarative experiment spec (JSON file)
 * ``sweep``      -- run a campaign grid: targets x learners x seeds
+* ``difftest``   -- differential conformance campaign over a target family:
+  learn every implementation, cross-replay every model-derived suite,
+  print the N x N verdict matrix with minimized witnesses
 
 Target and learner choices come from the :mod:`repro.registry`
 registries, so protocols registered by plug-ins appear automatically.
@@ -156,8 +159,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .spec import ExperimentSpec, SpecError
 
     try:
-        with open(args.spec) as handle:
-            spec = ExperimentSpec.from_json(handle.read())
+        spec = ExperimentSpec.from_file(args.spec)
     except (OSError, ValueError) as error:
         print(f"cannot load spec {args.spec}: {error}", file=sys.stderr)
         return 2
@@ -197,6 +199,89 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if failed:
         print(f"{failed}/{len(results)} runs failed", file=sys.stderr)
     return 1 if failed else 0
+
+
+def _cmd_difftest(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .campaign import DiffCampaign
+    from .spec import ExperimentSpec, SpecError
+
+    load_builtins()
+    families = SUL_REGISTRY.families()
+    members: list[str] = []
+    for member in args.targets:
+        # Family names expand to all of their members ("quic" -> the three
+        # implementations) anywhere in the argument list.  A name that is
+        # both a registered target and a family stem ("http2", "tcp")
+        # expands only when it is the sole argument; --exact suppresses
+        # expansion entirely (a 1x1 self-conformance check).
+        is_family = len(families.get(member, ())) > 1
+        expand = is_family and (
+            member not in SUL_REGISTRY or len(args.targets) == 1
+        )
+        if expand and not args.exact:
+            members.extend(families[member])
+        else:
+            members.append(member)
+    # An expansion overlapping an explicit target must not duplicate runs.
+    members = list(dict.fromkeys(members))
+    specs = []
+    for member in members:
+        if member in SUL_REGISTRY:
+            specs.append(
+                ExperimentSpec(
+                    target=member,
+                    learner=args.learner,
+                    seed=args.seed,
+                    workers=args.sul_workers,
+                    name=member,
+                )
+            )
+            continue
+        path = Path(member)
+        if path.suffix == ".json" or path.exists():
+            try:
+                spec = ExperimentSpec.from_file(path)
+            except (OSError, ValueError) as error:
+                print(f"cannot load spec {member}: {error}", file=sys.stderr)
+                return 2
+            if spec.name is None:
+                spec.name = path.stem
+            specs.append(spec)
+            continue
+        known = ", ".join(sorted(set(families) | set(SUL_REGISTRY.names())))
+        print(
+            f"unknown difftest target {member!r} (not a registered target, "
+            f"family, or spec file); known: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        campaign = DiffCampaign(
+            specs,
+            kinds=tuple(args.kind or ["wmethod"]),
+            workers=args.workers,
+            output_dir=args.out,
+            max_divergences=args.max_divergences,
+        )
+        result = campaign.run()
+    except (SpecError, KeyError) as error:
+        print(f"invalid difftest campaign: {error}", file=sys.stderr)
+        return 2
+    print(result.render())
+    print()
+    print(result.summary())
+    if result.artifact_dir:
+        print(f"artifacts: {result.artifact_dir}")
+    if result.artifact_error:
+        print(result.artifact_error, file=sys.stderr)
+    if all(run.model is None for run in result.runs):
+        print("no model could be learned", file=sys.stderr)
+        return 1
+    if args.fail_on_diverge and result.matrix.divergent_pairs():
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -274,6 +359,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="isolate each run's query cache",
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    difftest = sub.add_parser(
+        "difftest",
+        help="differential conformance campaign: learn a family of "
+        "implementations, cross-replay every model-derived suite, print "
+        "the verdict matrix",
+    )
+    difftest.add_argument(
+        "targets",
+        nargs="+",
+        metavar="family|target|spec.json",
+        help="a registered family (e.g. 'quic'), registered targets, "
+        "or ExperimentSpec JSON files (mixable)",
+    )
+    difftest.add_argument("--learner", choices=learners, default="ttt")
+    difftest.add_argument(
+        "--kind",
+        action="append",
+        choices=("transition-cover", "wmethod", "random"),
+        help="suite kind derived from each model (repeatable; "
+        "default: wmethod)",
+    )
+    difftest.add_argument("--seed", type=int, default=0)
+    difftest.add_argument(
+        "--workers", type=int, default=1, help="concurrent runs/replays"
+    )
+    difftest.add_argument(
+        "--sul-workers",
+        type=int,
+        default=1,
+        help="SUL pool size within each run (target/family form only)",
+    )
+    difftest.add_argument(
+        "--max-divergences",
+        type=int,
+        default=25,
+        help="stop collecting divergences per pair after this many",
+    )
+    difftest.add_argument("--out", help="write artifacts under this directory")
+    difftest.add_argument(
+        "--exact",
+        action="store_true",
+        help="treat every name as an exact target; never expand families "
+        "(e.g. 'repro difftest tcp --exact' is a 1x1 self-conformance run)",
+    )
+    difftest.add_argument(
+        "--fail-on-diverge",
+        action="store_true",
+        help="exit 1 when any off-diagonal pair diverges (CI gate)",
+    )
+    difftest.set_defaults(func=_cmd_difftest)
 
     return parser
 

@@ -85,6 +85,22 @@ class Registry(Generic[T]):
         """Registered keys, in registration order."""
         return tuple(self._factories)
 
+    def families(self) -> dict[str, tuple[str, ...]]:
+        """Registered keys grouped by their ``-``-separated stem.
+
+        ``quic-google`` / ``quic-mvfst`` / ``quic-quiche`` form the
+        ``quic`` family; a bare key (``http2``) belongs to its own stem's
+        family alongside its variants (``http2-buggy``).  Keys within a
+        family are sorted, the bare key first -- the discovery the
+        ``repro difftest <family>`` CLI uses.
+        """
+        grouped: dict[str, list[str]] = {}
+        for name in self._factories:
+            grouped.setdefault(name.split("-", 1)[0], []).append(name)
+        return {
+            stem: tuple(sorted(members)) for stem, members in grouped.items()
+        }
+
     def __contains__(self, name: object) -> bool:
         return name in self._factories
 

@@ -180,6 +180,12 @@ class ExperimentSpec:
     def from_json(cls, text: str) -> "ExperimentSpec":
         return cls.from_dict(json.loads(text))
 
+    @classmethod
+    def from_file(cls, path) -> "ExperimentSpec":
+        """Load a spec from a JSON file (the CLI ``run``/``difftest`` path)."""
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
     def clone(self, **overrides) -> "ExperimentSpec":
         """An independent copy with ``overrides`` applied (grid expansion)."""
         data = {

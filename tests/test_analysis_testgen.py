@@ -6,6 +6,7 @@ from repro.analysis.testgen import (
     differential_test,
     generate_test_suite,
 )
+from repro.core.alphabet import Alphabet, parse_tcp_symbol
 from repro.core.mealy import MealyMachine
 
 
@@ -34,6 +35,69 @@ class TestSuiteGeneration:
         c = generate_test_suite(toy_machine, "random", seed=2)
         assert a == b
         assert a != c
+
+
+class TestSuiteEdgeCases:
+    @staticmethod
+    def empty_alphabet_machine() -> MealyMachine:
+        return MealyMachine("s0", Alphabet.of([]), {}, name="mute")
+
+    @staticmethod
+    def single_state_machine() -> MealyMachine:
+        symbol = parse_tcp_symbol("SYN(?,?,0)")
+        nil = parse_tcp_symbol("NIL")
+        return MealyMachine(
+            "s0",
+            Alphabet.of([symbol]),
+            {("s0", symbol): ("s0", nil)},
+            name="echo",
+        )
+
+    def test_empty_alphabet_yields_empty_suites(self):
+        machine = self.empty_alphabet_machine()
+        for kind in ("transition-cover", "wmethod", "random"):
+            assert generate_test_suite(machine, kind) == []
+
+    def test_single_state_transition_cover(self):
+        machine = self.single_state_machine()
+        suite = generate_test_suite(machine, "transition-cover")
+        assert len(suite) == 1
+        assert len(suite[0]) == 1
+
+    def test_single_state_wmethod_nonempty_and_distinct(self):
+        machine = self.single_state_machine()
+        suite = generate_test_suite(machine, "wmethod")
+        assert suite
+        assert () not in suite
+        assert len(suite) == len(set(suite))
+
+    def test_extra_states_grow_the_wmethod_suite(self, toy_machine):
+        sizes = [
+            len(generate_test_suite(toy_machine, "wmethod", extra_states=k))
+            for k in range(3)
+        ]
+        assert sizes[0] < sizes[1] < sizes[2]
+        # Growth follows the middle sections Sigma^<=k: every word of the
+        # smaller suite is still covered by some word of the larger one.
+        smaller = set(generate_test_suite(toy_machine, "wmethod", extra_states=0))
+        larger = set(generate_test_suite(toy_machine, "wmethod", extra_states=1))
+        assert smaller <= larger
+
+    def test_random_kind_seed_stability_across_parameters(self, toy_machine):
+        base = generate_test_suite(
+            toy_machine, "random", num_random=40, max_length=6, seed=9
+        )
+        again = generate_test_suite(
+            toy_machine, "random", num_random=40, max_length=6, seed=9
+        )
+        assert base == again
+        assert len(base) == 40
+        assert all(1 <= len(word) <= 6 for word in base)
+        assert all(
+            symbol in toy_machine.input_alphabet
+            for word in base
+            for symbol in word
+        )
 
 
 class TestDifferentialTesting:

@@ -13,20 +13,8 @@ from repro.framework import Prognosis
 from repro.learn.equivalence import ChainedEquivalenceOracle
 
 
-def assert_identical_models(a, b):
-    """Byte-identical: same (relabeled) states, initial state, transitions."""
-    assert a.states == b.states
-    assert a.initial_state == b.initial_state
-    assert set(a.input_alphabet) == set(b.input_alphabet)
-    for state in a.states:
-        for symbol in a.input_alphabet:
-            assert a.step(state, symbol) == b.step(state, symbol), (
-                f"transition ({state}, {symbol}) differs"
-            )
-
-
 class TestPooledEqualsSerial:
-    def test_tcp_full(self):
+    def test_tcp_full(self, assert_identical_models):
         serial = learn_tcp_full(workers=1)
         pooled = learn_tcp_full(workers=4)
         assert_identical_models(serial.model, pooled.model)
@@ -34,20 +22,20 @@ class TestPooledEqualsSerial:
         assert serial.report.sul_queries == pooled.report.sul_queries
         assert pooled.report.workers == 4
 
-    def test_tcp_handshake(self):
+    def test_tcp_handshake(self, assert_identical_models):
         serial = learn_tcp_handshake(workers=1)
         pooled = learn_tcp_handshake(workers=4)
         assert_identical_models(serial.model, pooled.model)
         assert serial.report.counterexamples == pooled.report.counterexamples
 
-    def test_quic_quiche(self):
+    def test_quic_quiche(self, assert_identical_models):
         serial = learn_quic("quiche", workers=1)
         pooled = learn_quic("quiche", workers=4)
         assert_identical_models(serial.model, pooled.model)
         assert serial.report.counterexamples == pooled.report.counterexamples
         assert serial.report.sul_queries == pooled.report.sul_queries
 
-    def test_toy_machine_all_learners(self, toy_machine):
+    def test_toy_machine_all_learners(self, toy_machine, assert_identical_models):
         for learner in ("ttt", "lstar"):
             serial = Prognosis(
                 sul_factory=lambda: MealySUL(toy_machine),

@@ -167,6 +167,103 @@ class TestSweepCommand:
         assert "1/1 runs failed" in captured.err
 
 
+class TestDifftestCommand:
+    def test_difftest_single_target_matrix(self, capsys):
+        code = main(["difftest", "toy"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "suite \\ subject" in out
+        assert "self" in out
+
+    def test_difftest_spec_files_and_targets_mix(self, capsys, tmp_path):
+        spec_path = tmp_path / "toy-lstar.json"
+        spec_path.write_text(json.dumps({"target": "toy", "learner": "lstar"}))
+        out_dir = tmp_path / "artifacts"
+        code = main(
+            ["difftest", "toy", str(spec_path), "--out", str(out_dir)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # The spec file is named after its stem; both targets agree.
+        assert "toy-lstar" in out
+        assert "agree" in out
+        assert (out_dir / "matrix.json").exists()
+
+    def test_difftest_kinds_repeatable(self, capsys):
+        code = main(
+            ["difftest", "toy", "--kind", "transition-cover", "--kind", "random"]
+        )
+        assert code == 0
+
+    def test_difftest_family_expands_anywhere_in_the_list(self, capsys):
+        """A pure family stem expands even alongside other targets, and an
+        expansion overlapping an explicit target does not duplicate runs."""
+        from repro.adapter.mealy_sul import build_toy_sul
+        from repro.registry import SUL_REGISTRY
+
+        SUL_REGISTRY.register("fam-a", build_toy_sul)
+        SUL_REGISTRY.register("fam-b", build_toy_sul)
+        try:
+            code = main(["difftest", "fam", "toy", "fam-a"])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "fam-a" in out and "fam-b" in out and "toy" in out
+            # fam-a appears once despite being named twice (family + exact).
+            assert len([l for l in out.splitlines() if l.startswith("fam-a:")]) == 1
+        finally:
+            SUL_REGISTRY.unregister("fam-a")
+            SUL_REGISTRY.unregister("fam-b")
+
+    def test_difftest_exact_suppresses_family_expansion(self, capsys):
+        from repro.adapter.mealy_sul import build_toy_sul
+        from repro.registry import SUL_REGISTRY
+
+        SUL_REGISTRY.register("toy-sibling", build_toy_sul)
+        try:
+            code = main(["difftest", "toy", "--exact"])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "toy-sibling" not in out  # 1x1 self-conformance only
+        finally:
+            SUL_REGISTRY.unregister("toy-sibling")
+
+    def test_difftest_unknown_target(self, capsys):
+        assert main(["difftest", "no-such-thing"]) == 2
+        assert "unknown difftest target" in capsys.readouterr().err
+
+    def test_difftest_malformed_spec_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["difftest", str(bad)]) == 2
+
+    def test_difftest_fail_on_diverge(self, capsys, monkeypatch, tmp_path):
+        # A mutant toy target makes the pair diverge; the CI gate flag
+        # must turn that into exit code 1.
+        from repro.adapter.mealy_sul import MealySUL, toy_machine
+        from repro.core.mealy import MealyMachine
+        from repro.registry import SUL_REGISTRY
+
+        base = toy_machine()
+        syn, ack = base.input_alphabet.symbols
+        rst = base.step("s1", syn)[1]
+        table = {
+            (t.source, t.input): (t.target, t.output) for t in base.transitions()
+        }
+        table[("s1", ack)] = (table[("s1", ack)][0], rst)
+        mutant = MealyMachine("s0", base.input_alphabet, table, "toy-cli-mutant")
+        SUL_REGISTRY.register(
+            "toy-cli-mutant", lambda: MealySUL(mutant, name="toy-cli-mutant")
+        )
+        try:
+            assert main(["difftest", "toy", "toy-cli-mutant"]) == 0
+            assert (
+                main(["difftest", "toy", "toy-cli-mutant", "--fail-on-diverge"])
+                == 1
+            )
+        finally:
+            SUL_REGISTRY.unregister("toy-cli-mutant")
+
+
 class TestIssuesCommand:
     """Smoke the issues wiring with stubbed drivers (the real experiments
     run in the benchmark suite; here only the CLI plumbing is under test)."""

@@ -1,0 +1,63 @@
+"""Determinism regression: same spec + same seed => byte-identical results.
+
+Campaign artifacts are diffed and cached across runs (and the difftest
+matrix compares suites generated from re-learned models), so learning
+must be reproducible down to the serialized byte: two runs of an
+identical spec must produce byte-identical model JSON and identical
+generated test suites -- serially *and* on a 4-worker pool, which must
+also match the serial bytes exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.testgen import generate_test_suite
+from repro.campaign import run_spec
+from repro.spec import ExperimentSpec
+
+
+def learn_model_json(spec: ExperimentSpec) -> tuple[str, object]:
+    result = run_spec(spec)
+    assert result.ok, result.error
+    model = result.model.minimize()
+    return json.dumps(model.to_dict(), sort_keys=True), model
+
+
+def suites_of(model) -> dict[str, list]:
+    return {
+        kind: generate_test_suite(model, kind, extra_states=1, seed=3)
+        for kind in ("transition-cover", "wmethod", "random")
+    }
+
+
+@pytest.mark.parametrize("target", ["toy", "tcp-handshake"])
+@pytest.mark.parametrize("workers", [1, 4], ids=["serial", "pooled"])
+def test_same_spec_same_seed_is_byte_identical(target, workers):
+    spec = ExperimentSpec(target=target, seed=7, workers=workers, name=target)
+    first_json, first_model = learn_model_json(spec)
+    second_json, second_model = learn_model_json(spec.clone())
+    assert first_json == second_json
+    assert suites_of(first_model) == suites_of(second_model)
+
+
+@pytest.mark.parametrize("target", ["toy", "tcp-handshake"])
+def test_pooled_matches_serial_bytes(target):
+    serial_json, serial_model = learn_model_json(
+        ExperimentSpec(target=target, seed=7, workers=1, name=target)
+    )
+    pooled_json, pooled_model = learn_model_json(
+        ExperimentSpec(target=target, seed=7, workers=4, name=target)
+    )
+    assert serial_json == pooled_json
+    assert suites_of(serial_model) == suites_of(pooled_model)
+
+
+def test_random_suite_seed_changes_bytes():
+    """The seed is load-bearing: a different EQ seed may change queries but
+    never the learned model; a different *suite* seed changes the suite."""
+    spec = ExperimentSpec(target="toy", seed=7, name="toy")
+    _, model = learn_model_json(spec)
+    assert generate_test_suite(model, "random", seed=3) != generate_test_suite(
+        model, "random", seed=4
+    )

@@ -1,0 +1,149 @@
+"""Acceptance tests for the differential conformance campaigns.
+
+These drive the real protocol workloads end to end:
+
+* the three-implementation QUIC matrix (google x mvfst x quiche) with
+  mvfst's nondeterminism recorded as ``error`` cells and every
+  off-diagonal divergence carrying a minimized, replay-validated witness;
+* the HTTP/2 pair, where the RST_STREAM-on-closed-stream quirk must be
+  flagged with a witness no longer than the shortest difference an
+  exhaustive product-machine search finds.
+"""
+
+import pytest
+
+from repro.adapter.quic_adapter import build_quic_sul
+from repro.analysis.difftest import (
+    VERDICT_DIVERGE,
+    VERDICT_ERROR,
+    VERDICT_SELF,
+)
+from repro.analysis.equivalence import find_difference
+from repro.experiments import difftest_http2, difftest_quic, difftest_tcp
+from repro.registry import SUL_REGISTRY, load_builtins
+
+
+@pytest.fixture(scope="module")
+def quic_matrix():
+    return difftest_quic()
+
+
+@pytest.fixture(scope="module")
+def http2_matrix():
+    return difftest_http2()
+
+
+class TestQUICFamilyMatrix:
+    def test_family_discovery_names_three_implementations(self):
+        load_builtins()
+        assert SUL_REGISTRY.families()["quic"] == (
+            "quic-google",
+            "quic-mvfst",
+            "quic-quiche",
+        )
+
+    def test_matrix_is_three_by_three(self, quic_matrix):
+        matrix = quic_matrix.matrix
+        assert matrix.targets == ["quic-google", "quic-mvfst", "quic-quiche"]
+        assert len(matrix.cells) == 9
+
+    def test_mvfst_row_and_column_are_errors(self, quic_matrix):
+        matrix = quic_matrix.matrix
+        for other in matrix.targets:
+            assert matrix.cell("quic-mvfst", other).verdict == VERDICT_ERROR
+            assert matrix.cell(other, "quic-mvfst").verdict == VERDICT_ERROR
+        assert "quic-mvfst" in matrix.cell("quic-google", "quic-mvfst").error
+
+    def test_diagonal_is_self_conformant(self, quic_matrix):
+        matrix = quic_matrix.matrix
+        for name in ("quic-google", "quic-quiche"):
+            assert matrix.cell(name, name).verdict == VERDICT_SELF
+
+    def test_google_vs_quiche_diverges_both_ways(self, quic_matrix):
+        matrix = quic_matrix.matrix
+        assert matrix.cell("quic-google", "quic-quiche").verdict == VERDICT_DIVERGE
+        assert matrix.cell("quic-quiche", "quic-google").verdict == VERDICT_DIVERGE
+
+    def test_divergences_carry_minimized_replayable_witnesses(self, quic_matrix):
+        """Every off-diagonal divergence's witness, replayed against both
+        implementations, reproduces the differing outputs."""
+        divergent = quic_matrix.matrix.divergent_pairs()
+        assert divergent
+        for cell in divergent:
+            assert cell.witness is not None
+            assert cell.witness_validated
+            row_sul = build_quic_sul(cell.row.removeprefix("quic-"))
+            col_sul = build_quic_sul(cell.col.removeprefix("quic-"))
+            try:
+                row_outputs = tuple(row_sul.query(cell.witness))
+                col_outputs = tuple(col_sul.query(cell.witness))
+            finally:
+                row_sul.close()
+                col_sul.close()
+            assert row_outputs == cell.witness_row_outputs
+            assert col_outputs == cell.witness_col_outputs
+            assert row_outputs != col_outputs
+
+    def test_witnesses_are_shortest(self, quic_matrix):
+        """No witness is longer than the exhaustive product-machine search's
+        shortest difference between the two learned models."""
+        models = {run.spec.name: run.model for run in quic_matrix.runs if run.ok}
+        for cell in quic_matrix.matrix.divergent_pairs():
+            shortest = find_difference(models[cell.row], models[cell.col])
+            assert shortest is not None
+            assert len(cell.witness) <= len(shortest)
+
+    def test_model_diff_artifacts_for_learned_pairs(self, quic_matrix):
+        assert ("quic-google", "quic-quiche") in quic_matrix.diffs
+        diff = quic_matrix.diffs[("quic-google", "quic-quiche")]
+        assert not diff.equivalent
+        assert diff.size_gap == 4  # 12 vs 8 states (paper section 6.2.2)
+
+    def test_summary_counts(self, quic_matrix):
+        assert "2/3 models learned" in quic_matrix.summary()
+
+
+class TestHTTP2QuirkMatrix:
+    def test_quirk_flagged_with_shortest_witness(self, http2_matrix):
+        """The RST_STREAM-on-closed quirk divergence carries a witness no
+        longer than the one exhaustive search over the learned product
+        machine finds."""
+        cell = http2_matrix.matrix.cell("http2", "http2-buggy")
+        assert cell.verdict == VERDICT_DIVERGE
+        assert cell.witness is not None
+        assert cell.witness_validated
+        models = {run.spec.name: run.model for run in http2_matrix.runs}
+        exhaustive = find_difference(models["http2"], models["http2-buggy"])
+        assert exhaustive is not None
+        assert len(cell.witness) <= len(exhaustive)
+
+    def test_witness_exercises_rst_stream(self, http2_matrix):
+        cell = http2_matrix.matrix.cell("http2", "http2-buggy")
+        assert any("RST_STREAM" in str(symbol) for symbol in cell.witness)
+
+    def test_diagonals_self_conformant(self, http2_matrix):
+        assert http2_matrix.matrix.cell("http2", "http2").verdict == VERDICT_SELF
+        assert (
+            http2_matrix.matrix.cell("http2-buggy", "http2-buggy").verdict
+            == VERDICT_SELF
+        )
+
+    def test_size_gap_visible_in_diff(self, http2_matrix):
+        diff = http2_matrix.diffs[("http2", "http2-buggy")]
+        assert diff.states_a == 5
+        assert diff.states_b == 4
+
+
+class TestTCPAblationMatrix:
+    def test_challenge_ack_ablation_diverges(self):
+        """Same target key, different target_params: disabling the
+        challenge-ACK rate limiter is a visible behavioural difference."""
+        result = difftest_tcp()
+        matrix = result.matrix
+        assert matrix.targets == ["tcp", "tcp-no-challenge-ack-limit"]
+        cell = matrix.cell("tcp", "tcp-no-challenge-ack-limit")
+        assert cell.verdict == VERDICT_DIVERGE
+        assert cell.witness_validated
+        diff = result.diffs[("tcp", "tcp-no-challenge-ack-limit")]
+        assert diff.states_a == 6  # rate limiter adds a state
+        assert diff.states_b == 5

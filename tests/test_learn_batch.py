@@ -23,43 +23,6 @@ from repro.learn.nondeterminism import (
 from repro.learn.teacher import CountingOracle, SULMembershipOracle, mq_suffix_batch
 
 
-class _FlakySUL(MealySUL):
-    """Deterministic machine whose last output flips with period ``period``."""
-
-    def __init__(self, machine, flip_symbol, alt_output, period=3):
-        super().__init__(machine)
-        self._flip_symbol = flip_symbol
-        self._alt_output = alt_output
-        self._period = period
-        self._count = 0
-
-    def _step_impl(self, symbol):
-        output, i, o = super()._step_impl(symbol)
-        if symbol == self._flip_symbol:
-            self._count += 1
-            if self._count % self._period == 0:
-                return self._alt_output, i, o
-        return output, i, o
-
-
-class _VolatileSUL(MealySUL):
-    """Answers the first ``stable_queries`` queries faithfully, then flips
-    the output of ``flip_symbol`` permanently -- a SUL whose behaviour
-    drifts between observations, which the cache must flag."""
-
-    def __init__(self, machine, flip_symbol, alt_output, stable_queries=1):
-        super().__init__(machine)
-        self._flip_symbol = flip_symbol
-        self._alt_output = alt_output
-        self._stable_queries = stable_queries
-
-    def _step_impl(self, symbol):
-        output, i, o = super()._step_impl(symbol)
-        if symbol == self._flip_symbol and self.stats.queries > self._stable_queries:
-            return self._alt_output, i, o
-        return output, i, o
-
-
 class TestLongestCachedPrefix:
     def test_full_match(self, toy_machine, ab_alphabet):
         syn, ack = ab_alphabet.symbols
@@ -195,10 +158,12 @@ class TestBatchPlanner:
 
 
 class TestNondeterminismSerialAndBatched:
-    def test_cache_conflict_detected_serial(self, toy_machine, ab_alphabet, out_symbols):
+    def test_cache_conflict_detected_serial(
+        self, toy_machine, ab_alphabet, out_symbols, make_volatile_sul
+    ):
         syn, ack = ab_alphabet.symbols
         synack, nil = out_symbols
-        volatile = _VolatileSUL(toy_machine, flip_symbol=syn, alt_output=nil)
+        volatile = make_volatile_sul(toy_machine, flip_symbol=syn, alt_output=nil)
         oracle = CachedMembershipOracle(SULMembershipOracle(volatile))
         oracle.query((syn,))
         with pytest.raises(CacheInconsistencyError) as excinfo:
@@ -206,22 +171,22 @@ class TestNondeterminismSerialAndBatched:
         assert excinfo.value.cached != excinfo.value.fresh
 
     def test_cache_conflict_detected_batched(
-        self, toy_machine, ab_alphabet, out_symbols
+        self, toy_machine, ab_alphabet, out_symbols, make_volatile_sul
     ):
         syn, ack = ab_alphabet.symbols
         synack, nil = out_symbols
-        volatile = _VolatileSUL(toy_machine, flip_symbol=syn, alt_output=nil)
+        volatile = make_volatile_sul(toy_machine, flip_symbol=syn, alt_output=nil)
         oracle = CachedMembershipOracle(SULMembershipOracle(volatile))
         oracle.query_batch([(syn,)])
         with pytest.raises(CacheInconsistencyError):
             oracle.query_batch([(syn, ack), (ack,)])
 
     def test_majority_vote_resolves_flaky_serial(
-        self, toy_machine, ab_alphabet, out_symbols
+        self, toy_machine, ab_alphabet, out_symbols, make_flaky_sul
     ):
         syn, ack = ab_alphabet.symbols
         synack, _ = out_symbols
-        flaky = _FlakySUL(toy_machine, flip_symbol=ack, alt_output=synack, period=3)
+        flaky = make_flaky_sul(toy_machine, flip_symbol=ack, alt_output=synack, period=3)
         oracle = MajorityVoteOracle(
             SULMembershipOracle(flaky),
             NondeterminismPolicy(min_repeats=3, max_repeats=10, certainty=0.6),
@@ -230,11 +195,11 @@ class TestNondeterminismSerialAndBatched:
         assert oracle.nondeterministic_queries == 0
 
     def test_majority_vote_resolves_flaky_batched(
-        self, toy_machine, ab_alphabet, out_symbols
+        self, toy_machine, ab_alphabet, out_symbols, make_flaky_sul
     ):
         syn, ack = ab_alphabet.symbols
         synack, _ = out_symbols
-        flaky = _FlakySUL(toy_machine, flip_symbol=ack, alt_output=synack, period=3)
+        flaky = make_flaky_sul(toy_machine, flip_symbol=ack, alt_output=synack, period=3)
         oracle = MajorityVoteOracle(
             SULMembershipOracle(flaky),
             NondeterminismPolicy(min_repeats=3, max_repeats=10, certainty=0.6),
@@ -250,11 +215,11 @@ class TestNondeterminismSerialAndBatched:
         assert oracle.nondeterministic_queries == 0
 
     def test_majority_vote_raises_batched(
-        self, toy_machine, ab_alphabet, out_symbols
+        self, toy_machine, ab_alphabet, out_symbols, make_flaky_sul
     ):
         syn, ack = ab_alphabet.symbols
         synack, _ = out_symbols
-        flaky = _FlakySUL(toy_machine, flip_symbol=ack, alt_output=synack, period=2)
+        flaky = make_flaky_sul(toy_machine, flip_symbol=ack, alt_output=synack, period=2)
         oracle = MajorityVoteOracle(
             SULMembershipOracle(flaky),
             NondeterminismPolicy(min_repeats=3, max_repeats=6, certainty=0.95),

@@ -76,25 +76,6 @@ class TestCachedOracle:
         assert oracle.hit_rate == 0.5
 
 
-class _FlakySUL(MealySUL):
-    """Deterministic machine whose last output flips with period ``period``."""
-
-    def __init__(self, machine, flip_symbol, alt_output, period=3):
-        super().__init__(machine)
-        self._flip_symbol = flip_symbol
-        self._alt_output = alt_output
-        self._period = period
-        self._count = 0
-
-    def _step_impl(self, symbol):
-        output, i, o = super()._step_impl(symbol)
-        if symbol == self._flip_symbol:
-            self._count += 1
-            if self._count % self._period == 0:
-                return self._alt_output, i, o
-        return output, i, o
-
-
 class TestMajorityVote:
     def test_deterministic_passes_through(self, toy_machine, ab_alphabet):
         syn, ack = ab_alphabet.symbols
@@ -104,10 +85,12 @@ class TestMajorityVote:
         )
         assert oracle.query((syn, ack)) == toy_machine.run((syn, ack))
 
-    def test_nondeterminism_detected(self, toy_machine, ab_alphabet, out_symbols):
+    def test_nondeterminism_detected(
+        self, toy_machine, ab_alphabet, out_symbols, make_flaky_sul
+    ):
         syn, ack = ab_alphabet.symbols
         synack, nil = out_symbols
-        flaky = _FlakySUL(toy_machine, flip_symbol=ack, alt_output=synack, period=2)
+        flaky = make_flaky_sul(toy_machine, flip_symbol=ack, alt_output=synack, period=2)
         oracle = MajorityVoteOracle(
             SULMembershipOracle(flaky),
             NondeterminismPolicy(min_repeats=3, max_repeats=6, certainty=0.95),
@@ -125,10 +108,12 @@ class TestMajorityVote:
         with pytest.raises(ValueError):
             NondeterminismPolicy(min_repeats=5, max_repeats=2)
 
-    def test_distribution_estimate(self, toy_machine, ab_alphabet, out_symbols):
+    def test_distribution_estimate(
+        self, toy_machine, ab_alphabet, out_symbols, make_flaky_sul
+    ):
         syn, ack = ab_alphabet.symbols
         synack, _ = out_symbols
-        flaky = _FlakySUL(toy_machine, flip_symbol=ack, alt_output=synack, period=4)
+        flaky = make_flaky_sul(toy_machine, flip_symbol=ack, alt_output=synack, period=4)
         oracle = SULMembershipOracle(flaky)
         distribution = estimate_response_distribution(oracle, (syn, ack), 40)
         assert isinstance(distribution, Counter)

@@ -28,18 +28,15 @@ NIL = TCPSymbol(label="NIL")
 RST = TCPSymbol(label="RST(?,?,0)")
 
 
-def oracle_for(machine) -> CachedMembershipOracle:
-    return CachedMembershipOracle(SULMembershipOracle(MealySUL(machine)))
-
 
 class TestObservationTable:
-    def test_initial_table_not_closed_for_toy(self, toy_machine):
-        oracle = oracle_for(toy_machine)
+    def test_initial_table_not_closed_for_toy(self, toy_machine, cached_oracle_for):
+        oracle = cached_oracle_for(toy_machine)
         table = ObservationTable(toy_machine.input_alphabet, oracle)
         assert table.find_unclosed() is not None
 
-    def test_hypothesis_after_stabilize(self, toy_machine):
-        oracle = oracle_for(toy_machine)
+    def test_hypothesis_after_stabilize(self, toy_machine, cached_oracle_for):
+        oracle = cached_oracle_for(toy_machine)
         table = ObservationTable(toy_machine.input_alphabet, oracle)
         LStarLearner._stabilize(table)
         hypothesis = table.to_hypothesis()
@@ -47,8 +44,8 @@ class TestObservationTable:
 
 
 class TestLStar:
-    def test_learns_toy_machine_exactly(self, toy_machine):
-        oracle = oracle_for(toy_machine)
+    def test_learns_toy_machine_exactly(self, toy_machine, cached_oracle_for):
+        oracle = cached_oracle_for(toy_machine)
         learner = LStarLearner(oracle, WMethodEquivalenceOracle(oracle, 1))
         result = learner.learn()
         assert result.model.num_states == 3
@@ -56,8 +53,8 @@ class TestLStar:
 
 
 class TestTTT:
-    def test_learns_toy_machine_exactly(self, toy_machine):
-        oracle = oracle_for(toy_machine)
+    def test_learns_toy_machine_exactly(self, toy_machine, cached_oracle_for):
+        oracle = cached_oracle_for(toy_machine)
         learner = TTTLearner(oracle, WMethodEquivalenceOracle(oracle, 1))
         result = learner.learn()
         assert result.model.num_states == 3
@@ -76,7 +73,7 @@ class TestTTT:
 
 
 class TestRivestSchapire:
-    def test_decomposition_points_at_divergence(self, toy_machine, ab_alphabet):
+    def test_decomposition_points_at_divergence(self, toy_machine, ab_alphabet, cached_oracle_for):
         syn, ack = ab_alphabet.symbols
         # A wrong hypothesis: single state echoing NIL for everything.
         transitions = {
@@ -84,7 +81,7 @@ class TestRivestSchapire:
             ("q", ack): ("q", NIL),
         }
         hypothesis = MealyMachine("q", ab_alphabet, transitions, "wrong")
-        oracle = oracle_for(toy_machine)
+        oracle = cached_oracle_for(toy_machine)
         cex = (syn,)
         decomposition = rivest_schapire(
             oracle, hypothesis, cex, access_of={"q": ()}
@@ -92,16 +89,16 @@ class TestRivestSchapire:
         assert decomposition.prefix == ()
         assert decomposition.symbol == syn
 
-    def test_non_counterexample_rejected(self, toy_machine):
-        oracle = oracle_for(toy_machine)
+    def test_non_counterexample_rejected(self, toy_machine, cached_oracle_for):
+        oracle = cached_oracle_for(toy_machine)
         with pytest.raises(ValueError):
             rivest_schapire(oracle, toy_machine, (SYN,))
 
 
 class TestEquivalenceOracles:
-    def test_wmethod_finds_difference(self, toy_machine, ab_alphabet):
+    def test_wmethod_finds_difference(self, toy_machine, ab_alphabet, cached_oracle_for):
         syn, ack = ab_alphabet.symbols
-        oracle = oracle_for(toy_machine)
+        oracle = cached_oracle_for(toy_machine)
         # Hypothesis that never leaves s0.
         transitions = {
             ("q", syn): ("q", SYNACK),
@@ -112,15 +109,15 @@ class TestEquivalenceOracles:
         assert cex is not None
         assert oracle.query(cex) != hypothesis.run(cex)
 
-    def test_wmethod_passes_equivalent(self, toy_machine):
-        oracle = oracle_for(toy_machine)
+    def test_wmethod_passes_equivalent(self, toy_machine, cached_oracle_for):
+        oracle = cached_oracle_for(toy_machine)
         assert WMethodEquivalenceOracle(oracle, 1).find_counterexample(
             toy_machine
         ) is None
 
-    def test_counterexamples_are_minimal(self, toy_machine, ab_alphabet):
+    def test_counterexamples_are_minimal(self, toy_machine, ab_alphabet, cached_oracle_for):
         syn, ack = ab_alphabet.symbols
-        oracle = oracle_for(toy_machine)
+        oracle = cached_oracle_for(toy_machine)
         transitions = {
             ("q", syn): ("q", SYNACK),
             ("q", ack): ("q", NIL),
@@ -134,14 +131,14 @@ class TestEquivalenceOracles:
         prefix = cex[:-1]
         assert oracle.query(prefix) == hypothesis.run(prefix)
 
-    def test_fixed_words_oracle(self, toy_machine, ab_alphabet):
+    def test_fixed_words_oracle(self, toy_machine, ab_alphabet, cached_oracle_for):
         syn, ack = ab_alphabet.symbols
-        oracle = oracle_for(toy_machine)
+        oracle = cached_oracle_for(toy_machine)
         eq = FixedWordsEquivalenceOracle(oracle, [(syn, ack)])
         assert eq.find_counterexample(toy_machine) is None
 
-    def test_chained_oracle_falls_through(self, toy_machine):
-        oracle = oracle_for(toy_machine)
+    def test_chained_oracle_falls_through(self, toy_machine, cached_oracle_for):
+        oracle = cached_oracle_for(toy_machine)
         chained = ChainedEquivalenceOracle(
             [
                 RandomWordEquivalenceOracle(oracle, num_words=5, seed=2),
@@ -174,8 +171,8 @@ def random_machine(draw):
 
 @given(random_machine())
 @settings(max_examples=40, deadline=None)
-def test_ttt_recovers_random_machines(machine):
-    oracle = oracle_for(machine)
+def test_ttt_recovers_random_machines(cached_oracle_for, machine):
+    oracle = cached_oracle_for(machine)
     learner = TTTLearner(oracle, PerfectEquivalenceOracle(machine))
     result = learner.learn()
     assert equivalent(result.model, machine)
@@ -184,8 +181,8 @@ def test_ttt_recovers_random_machines(machine):
 
 @given(random_machine())
 @settings(max_examples=25, deadline=None)
-def test_lstar_recovers_random_machines(machine):
-    oracle = oracle_for(machine)
+def test_lstar_recovers_random_machines(cached_oracle_for, machine):
+    oracle = cached_oracle_for(machine)
     learner = LStarLearner(oracle, PerfectEquivalenceOracle(machine))
     result = learner.learn()
     assert equivalent(result.model, machine)

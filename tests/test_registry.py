@@ -76,6 +76,35 @@ class TestMutation:
         assert registry.create("decorated") == 42
 
 
+class TestFamilies:
+    def test_groups_by_stem_with_bare_key_first(self, registry):
+        for name in ("quic-quiche", "quic-google", "http2", "http2-buggy", "toy"):
+            registry.register(name, lambda: None)
+        families = registry.families()
+        assert families["quic"] == ("quic-google", "quic-quiche")
+        assert families["http2"] == ("http2", "http2-buggy")
+        assert families["toy"] == ("toy",)
+
+    def test_empty_registry_has_no_families(self, registry):
+        assert registry.families() == {}
+
+    def test_builtin_quic_family(self):
+        load_builtins()
+        assert SUL_REGISTRY.families()["quic"] == (
+            "quic-google",
+            "quic-mvfst",
+            "quic-quiche",
+        )
+
+    def test_builtin_tcp_family_includes_the_ablation(self):
+        load_builtins()
+        assert SUL_REGISTRY.families()["tcp"] == (
+            "tcp",
+            "tcp-handshake",
+            "tcp-no-challenge-ack",
+        )
+
+
 class TestBuiltins:
     def test_all_protocol_targets_registered(self):
         load_builtins()
