@@ -1,39 +1,27 @@
-"""A reusable HTTP/2 property suite (RFC 9113 framing rules).
+"""The HTTP/2 property suite (RFC 9113 framing rules).
 
-The HTTP/2 counterpart of :mod:`repro.analysis.quic_properties`: RFC-level
-rules packaged as named trace predicates, checked exhaustively against a
-learned model up to a depth.  The suite contains the response-framing and
-termination rules every conformant server satisfies plus
-``rst-after-response-tolerated``, the property that flags the seeded
-:attr:`~repro.http2.server.HTTP2ServerConfig.rst_on_closed_bug` quirk
-(section 5.1: RST_STREAM in the closed state MUST be ignored).
+The HTTP/2 counterpart of :mod:`repro.analysis.quic_properties`: RFC
+-level rules packaged as :class:`~repro.analysis.property_api.Property`
+checks and registered as the ``http2`` suite (covering ``http2`` and
+``http2-buggy`` via the family stem).  The trace properties are the
+response-framing and termination rules every conformant server satisfies
+plus ``rst-after-response-tolerated``, the property that flags the
+seeded :attr:`~repro.http2.server.HTTP2ServerConfig.rst_on_closed_bug`
+quirk (section 5.1: RST_STREAM in the closed state MUST be ignored).
 
 Stream-id monotonicity (section 5.1.1: a client's stream identifiers are
-strictly increasing odd numbers) lives below the abstraction -- identifiers
-are ``?``-free in abstract symbols -- so it is checked against the Oracle
-Table's concrete parameters instead of the model.
+strictly increasing odd numbers) lives below the abstraction --
+identifiers are ``?``-free in abstract symbols -- so it is an
+oracle-kind property checked against the Oracle Table's concrete
+parameters instead of the model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Sequence
-
-from ..core.mealy import MealyMachine
 from ..core.oracle_table import OracleTable
 from ..core.trace import IOTrace
-from .properties import PropertyViolation, check_invariant
-
-TracePredicate = Callable[[IOTrace], bool]
-
-
-@dataclass(frozen=True)
-class HTTP2Property:
-    """A named, documented property with its RFC-level motivation."""
-
-    name: str
-    description: str
-    predicate: TracePredicate
+from ..registry import register_properties
+from .property_api import Property
 
 
 def _goaway_before(trace: IOTrace, index: int) -> bool:
@@ -97,63 +85,6 @@ def rst_after_response_tolerated(trace: IOTrace) -> bool:
     return True
 
 
-STANDARD_PROPERTIES: tuple[HTTP2Property, ...] = (
-    HTTP2Property(
-        name="no-data-before-headers",
-        description="response DATA only after response HEADERS",
-        predicate=no_data_before_headers,
-    ),
-    HTTP2Property(
-        name="goaway-terminal",
-        description="no frames follow a server GOAWAY",
-        predicate=goaway_is_terminal,
-    ),
-    HTTP2Property(
-        name="settings-acked",
-        description="SETTINGS on a live connection draws SETTINGS[ACK]",
-        predicate=settings_always_acked,
-    ),
-    HTTP2Property(
-        name="rst-after-response-tolerated",
-        description="RST_STREAM on a closed stream is ignored, not GOAWAY",
-        predicate=rst_after_response_tolerated,
-    ),
-)
-
-
-@dataclass(frozen=True)
-class PropertyResult:
-    property: HTTP2Property
-    violation: PropertyViolation | None
-
-    @property
-    def holds(self) -> bool:
-        return self.violation is None
-
-
-def check_http2_properties(
-    model: MealyMachine,
-    properties: Sequence[HTTP2Property] = STANDARD_PROPERTIES,
-    depth: int = 5,
-) -> list[PropertyResult]:
-    """Exhaustively check each property on all model traces up to depth."""
-    results = []
-    for prop in properties:
-        violation = check_invariant(model, prop.predicate, depth)
-        results.append(PropertyResult(property=prop, violation=violation))
-    return results
-
-
-def render_results(results: Sequence[PropertyResult]) -> str:
-    lines = []
-    for result in results:
-        status = "holds" if result.holds else "VIOLATED"
-        lines.append(f"{result.property.name:<32} {status}")
-        if result.violation is not None:
-            lines.append(f"    witness: {result.violation.trace.render()[:120]}")
-    return "\n".join(lines)
-
-
 # ---------------------------------------------------------------------------
 # Below-abstraction check: stream-id monotonicity over concrete params
 # ---------------------------------------------------------------------------
@@ -188,3 +119,38 @@ def stream_id_violations(oracle_table: OracleTable) -> list[tuple[IOTrace, int]]
 def check_stream_id_monotonicity(oracle_table: OracleTable) -> bool:
     """True when every recorded query used odd, increasing stream ids."""
     return not stream_id_violations(oracle_table)
+
+
+STANDARD_PROPERTIES: tuple[Property, ...] = (
+    Property.trace(
+        name="no-data-before-headers",
+        description="response DATA only after response HEADERS",
+        predicate=no_data_before_headers,
+    ),
+    Property.trace(
+        name="goaway-terminal",
+        description="no frames follow a server GOAWAY",
+        predicate=goaway_is_terminal,
+    ),
+    Property.trace(
+        name="settings-acked",
+        description="SETTINGS on a live connection draws SETTINGS[ACK]",
+        predicate=settings_always_acked,
+    ),
+    Property.trace(
+        name="rst-after-response-tolerated",
+        description="RST_STREAM on a closed stream is ignored, not GOAWAY",
+        predicate=rst_after_response_tolerated,
+    ),
+    Property.oracle(
+        name="stream-ids-monotonic",
+        description="client stream ids are odd and strictly increasing",
+        check=stream_id_violations,
+    ),
+)
+
+
+@register_properties("http2")
+def http2_properties() -> tuple[Property, ...]:
+    """The registered ``http2`` suite (covers ``http2-buggy`` by stem)."""
+    return STANDARD_PROPERTIES

@@ -127,9 +127,15 @@ def random_traces(
     max_length: int,
     seed: int = 0,
 ) -> list[IOTrace]:
-    """Sample random traces from a model (for model-based test generation)."""
+    """Sample random traces from a model (for model-based test generation).
+
+    An empty input alphabet yields an empty list (there is nothing to
+    sample), mirroring :func:`repro.analysis.testgen.generate_test_suite`.
+    """
     rng = random.Random(seed)
     symbols = list(machine.input_alphabet)
+    if not symbols:
+        return []
     traces = []
     for _ in range(num_traces):
         length = rng.randint(1, max_length)

@@ -1,36 +1,25 @@
-"""A reusable QUIC property suite (paper section 6.2.2).
+"""The QUIC property suite (paper section 6.2.2).
 
 The paper checks learned models against "a subset of the properties from
 IETF's Draft 29", e.g. *an endpoint must not send data on a stream at or
-beyond the final size* and handshake-ordering rules.  This module packages
-the checkable subset as named properties over learned Mealy models, each
-implemented as a trace predicate evaluated exhaustively up to a depth.
+beyond the final size* and handshake-ordering rules.  This module
+packages the checkable subset as :class:`~repro.analysis.property_api
+.Property` trace predicates and registers them as the ``quic`` suite, so
+``repro properties quic-google`` and property campaigns discover them by
+target name.
 
-Properties deliberately include one that *differs by design decision*
-between implementations (close-frame bundling), illustrating the paper's
-point that a difference is "not necessarily a bug, it can also signal
-different design decisions".
+The suite deliberately includes one *design probe* (close-frame
+bundling, tagged :data:`~repro.analysis.property_api.TAG_PROBE`): it
+differs by design decision between implementations, illustrating the
+paper's point that a difference is "not necessarily a bug, it can also
+signal different design decisions".
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Sequence
-
-from ..core.mealy import MealyMachine
 from ..core.trace import IOTrace
-from .properties import PropertyViolation, check_invariant
-
-TracePredicate = Callable[[IOTrace], bool]
-
-
-@dataclass(frozen=True)
-class QUICProperty:
-    """A named, documented property with its RFC-level motivation."""
-
-    name: str
-    description: str
-    predicate: TracePredicate
+from ..registry import register_properties
+from .property_api import Property
 
 
 def _outputs_with(trace: IOTrace, fragment: str) -> list[int]:
@@ -126,66 +115,40 @@ def single_packet_close(trace: IOTrace) -> bool:
     return True
 
 
-STANDARD_PROPERTIES: tuple[QUICProperty, ...] = (
-    QUICProperty(
+STANDARD_PROPERTIES: tuple[Property, ...] = (
+    Property.trace(
         name="handshake-done-after-finished",
         description="HANDSHAKE_DONE only after the client's Finished",
         predicate=handshake_done_only_after_finished,
     ),
-    QUICProperty(
+    Property.trace(
         name="no-flight-without-hello",
         description="server CRYPTO flights require a ClientHello",
         predicate=no_server_flight_without_hello,
     ),
-    QUICProperty(
+    Property.trace(
         name="close-terminal-for-data",
         description="no fresh stream data after CONNECTION_CLOSE",
         predicate=close_is_terminal_for_data,
     ),
-    QUICProperty(
+    Property.trace(
         name="client-done-draws-close",
         description="client-sent HANDSHAKE_DONE is a protocol violation",
         predicate=client_done_draws_close,
     ),
 )
 
-DESIGN_PROBES: tuple[QUICProperty, ...] = (
-    QUICProperty(
+DESIGN_PROBES: tuple[Property, ...] = (
+    Property.trace(
         name="single-packet-close",
         description="closes are single packets (differs by implementation)",
         predicate=single_packet_close,
+        tags=("probe",),
     ),
 )
 
 
-@dataclass(frozen=True)
-class PropertyResult:
-    property: QUICProperty
-    violation: PropertyViolation | None
-
-    @property
-    def holds(self) -> bool:
-        return self.violation is None
-
-
-def check_quic_properties(
-    model: MealyMachine,
-    properties: Sequence[QUICProperty] = STANDARD_PROPERTIES,
-    depth: int = 5,
-) -> list[PropertyResult]:
-    """Exhaustively check each property on all model traces up to depth."""
-    results = []
-    for prop in properties:
-        violation = check_invariant(model, prop.predicate, depth)
-        results.append(PropertyResult(property=prop, violation=violation))
-    return results
-
-
-def render_results(results: Sequence[PropertyResult]) -> str:
-    lines = []
-    for result in results:
-        status = "holds" if result.holds else "VIOLATED"
-        lines.append(f"{result.property.name:<32} {status}")
-        if result.violation is not None:
-            lines.append(f"    witness: {result.violation.trace.render()[:120]}")
-    return "\n".join(lines)
+@register_properties("quic")
+def quic_properties() -> tuple[Property, ...]:
+    """The registered ``quic`` suite: standard checks plus the probe."""
+    return STANDARD_PROPERTIES + DESIGN_PROBES

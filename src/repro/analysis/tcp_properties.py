@@ -1,0 +1,129 @@
+"""The TCP property suite (paper section 6.1, RFC 793 / RFC 5961).
+
+TCP was Prognosis's validation workload; this suite states the
+behaviours the paper's section-6.1 model exhibits as checkable
+:class:`~repro.analysis.property_api.Property` entries, registered as
+the ``tcp`` suite (covering ``tcp``, ``tcp-handshake`` and
+``tcp-no-challenge-ack`` via the family stem):
+
+* ``challenge-ack-rate-limited`` -- the RFC 5961 mitigation Linux ships:
+  an in-window SYN on an established connection draws a challenge ACK,
+  but an immediate second SYN is silently dropped (the rate limiter has
+  no credit left).  The ``tcp-no-challenge-ack`` ablation answers every
+  SYN, so this property *distinguishes the two stacks* -- the
+  model-level observable of the challenge-ACK rate limit.
+* ``rst-terminal`` -- once the connection is synchronized (the server
+  sent SYN+ACK), a client RST kills it: nothing but silence follows.
+* ``data-needs-handshake`` -- the server never acknowledges payload
+  before completing the handshake; data on an unsynchronized connection
+  draws a reset, not an ACK.
+"""
+
+from __future__ import annotations
+
+from ..core.trace import IOTrace
+from ..registry import register_properties
+from .property_api import Property
+
+
+def _is_syn(symbol) -> bool:
+    return str(symbol) == "SYN(?,?,0)"
+
+
+def _is_plain_ack(symbol) -> bool:
+    return str(symbol) == "ACK(?,?,0)"
+
+
+def _is_nil(symbol) -> bool:
+    return str(symbol) == "NIL"
+
+
+def _fin_seen(trace: IOTrace, upto: int) -> bool:
+    """True when a FIN crossed the wire (either direction) before ``upto``.
+
+    The rate limiter only guards ESTABLISHED; once the close sequence
+    starts (LAST_ACK and friends), challenge ACKs are unthrottled.
+    """
+    return any(
+        "FIN" in str(trace.inputs[i]) or "FIN" in str(trace.outputs[i])
+        for i in range(upto)
+    )
+
+
+def challenge_ack_is_rate_limited(trace: IOTrace) -> bool:
+    """A challenge ACK consumes the credit: the very next SYN is dropped.
+
+    RFC 5961 section 4.2 with Linux's ``tcp_challenge_ack_limit``
+    behaviour: on an established (pre-FIN) connection, a SYN answered
+    with a plain ACK (the challenge) leaves no credit, so a SYN on the
+    next step must draw silence.  Receiving data replenishes the credit,
+    which is why only *consecutive* SYNs are constrained.
+    """
+    for i in range(len(trace) - 1):
+        if not (_is_syn(trace.inputs[i]) and _is_plain_ack(trace.outputs[i])):
+            continue
+        if _fin_seen(trace, i):
+            continue  # close sequence started; the limiter is off duty
+        if _is_syn(trace.inputs[i + 1]) and not _is_nil(trace.outputs[i + 1]):
+            return False
+    return True
+
+
+def rst_is_terminal(trace: IOTrace) -> bool:
+    """A client RST on a synchronized connection is final: only silence
+    follows (RFC 793: a reset destroys the connection).
+
+    Pre-handshake RSTs are out of scope -- a listener ignores them and
+    must still accept a later SYN -- so the check arms once the server
+    has sent its SYN+ACK.
+    """
+    synchronized = False
+    for i in range(len(trace)):
+        if "SYN" in str(trace.outputs[i]):
+            synchronized = True
+        if synchronized and "RST" in str(trace.inputs[i]):
+            return all(_is_nil(o) for o in trace.outputs[i:])
+    return True
+
+
+def data_needs_handshake(trace: IOTrace) -> bool:
+    """The server never ACKs payload before the handshake completed.
+
+    A data segment hitting a listener is answered with a reset (or
+    dropped), never acknowledged: an ACK of data implies the server sent
+    SYN+ACK earlier in the trace.
+    """
+    syn_ack_sent = False
+    for i in range(len(trace)):
+        if "SYN" in str(trace.outputs[i]):
+            syn_ack_sent = True
+        carries_payload = str(trace.inputs[i]).endswith(",1)")
+        if carries_payload and not syn_ack_sent:
+            if _is_plain_ack(trace.outputs[i]):
+                return False
+    return True
+
+
+TCP_PROPERTIES: tuple[Property, ...] = (
+    Property.trace(
+        name="challenge-ack-rate-limited",
+        description="a second consecutive in-window SYN is silently dropped",
+        predicate=challenge_ack_is_rate_limited,
+    ),
+    Property.trace(
+        name="rst-terminal",
+        description="a client RST on a synchronized connection is final",
+        predicate=rst_is_terminal,
+    ),
+    Property.trace(
+        name="data-needs-handshake",
+        description="payload is never ACKed before the handshake completes",
+        predicate=data_needs_handshake,
+    ),
+)
+
+
+@register_properties("tcp")
+def tcp_properties() -> tuple[Property, ...]:
+    """The registered ``tcp`` suite (covers every ``tcp-*`` target)."""
+    return TCP_PROPERTIES

@@ -1,0 +1,37 @@
+"""The toy-target property suite (CLI smoke tests and demos).
+
+The ``toy`` SUL (:func:`repro.adapter.mealy_sul.toy_machine`) is a
+3-state SYN/ACK lock; its suite states the lock's contract in the LTLf
+textual syntax, which doubles as living documentation of the formula
+language every user-facing surface (``repro properties --formula``,
+:class:`~repro.spec.PropertiesSpec` formulas) accepts.
+"""
+
+from __future__ import annotations
+
+from ..registry import register_properties
+from .property_api import Property
+
+
+@register_properties("toy")
+def toy_properties() -> tuple[Property, ...]:
+    """The registered ``toy`` suite: the SYN/ACK lock's contract, in LTLf."""
+    return (
+        Property.ltlf(
+            name="ack-is-ignored",
+            formula="G (in == ACK(?,?,0) -> out == NIL)",
+            description="a bare ACK never draws a response",
+        ),
+        Property.ltlf(
+            name="syn-answered-sanely",
+            formula="G (in == SYN(?,?,0) -> "
+            "(out == ACK+SYN(?,?,0) || out == RST(?,?,0) || out == NIL))",
+            description="a SYN draws SYN+ACK, RST or silence -- never data",
+        ),
+        Property.ltlf(
+            name="rst-only-after-open",
+            formula="(out != RST(?,?,0)) U (out == ACK+SYN(?,?,0)) "
+            "|| G (out != RST(?,?,0))",
+            description="no reset before the lock opened once",
+        ),
+    )

@@ -50,14 +50,19 @@ from .analysis.difftest import (
     minimize_witness,
 )
 from .analysis.equivalence import find_difference
+from .analysis.property_api import (
+    PropertyReport,
+    check_properties,
+    resolve_properties,
+)
 from .analysis.testgen import SuiteKind, generate_test_suite
 from .core.mealy import MealyMachine
 from .core.trace import Word
 from .framework import LearningReport, Prognosis
 from .learn.cache import CachedMembershipOracle, CacheInconsistencyError, QueryCache
 from .learn.teacher import SULMembershipOracle
-from .registry import SUL_REGISTRY, load_builtins
-from .spec import ExperimentSpec, SpecError, build_sul
+from .registry import SUL_REGISTRY, load_builtins, resolve_property_suite
+from .spec import ExperimentSpec, PropertiesSpec, SpecError, build_sul
 
 
 @dataclass
@@ -76,6 +81,8 @@ class RunResult:
     model: MealyMachine | None
     error: str | None = None
     artifact_dir: str | None = None
+    #: Property verdicts, when the spec carried a ``properties`` section.
+    properties: PropertyReport | None = None
 
     @property
     def ok(self) -> bool:
@@ -86,16 +93,50 @@ class RunResult:
         if not self.ok:
             return f"{name}: FAILED ({self.error})"
         report = self.report
-        return (
+        text = (
             f"{name}: {report.num_states} states, "
             f"{report.num_transitions} transitions, "
             f"{report.sul_queries} SUL queries, "
             f"{report.cache_hit_rate:.0%} cache hits"
         )
+        if self.properties is not None:
+            counts = self.properties.counts()
+            text += (
+                f", properties {counts['holds']}/{len(self.properties)} hold"
+            )
+        return text
 
 
 def _safe_name(text: str) -> str:
     return re.sub(r"[^A-Za-z0-9._-]+", "_", text)
+
+
+def evaluate_spec_properties(
+    spec: ExperimentSpec,
+    model: MealyMachine,
+    oracle_table=None,
+) -> PropertyReport:
+    """Run the property checks a spec's ``properties`` section describes.
+
+    A spec without a ``properties`` section gets the defaults (the
+    target's registered suite, depth 5, minimized witnesses); individual
+    check failures become ERROR verdicts, never exceptions.
+    """
+    pspec = spec.properties if spec.properties is not None else PropertiesSpec()
+    props = resolve_properties(
+        spec.target,
+        suite=pspec.suite,
+        formulas=pspec.formulas,
+        include_probes=pspec.include_probes,
+    )
+    return check_properties(
+        model,
+        props,
+        depth=pspec.depth,
+        oracle_table=oracle_table,
+        minimize=pspec.minimize,
+        target=spec.display_name(),
+    )
 
 
 class Campaign:
@@ -203,8 +244,15 @@ class Campaign:
                 m.kind == "cache" for m in spec.middleware
             ):
                 shared = self._warm_cache(spec.sul_fingerprint())
+            properties_report = None
             with Prognosis.from_spec(spec, shared_cache=shared) as prognosis:
                 report = prognosis.learn()
+                if spec.properties is not None:
+                    properties_report = evaluate_spec_properties(
+                        spec,
+                        report.model,
+                        oracle_table=prognosis.sul.oracle_table,
+                    )
                 if shared is not None and prognosis.cache_oracle is not None:
                     self._absorb_cache(
                         spec.sul_fingerprint(), prognosis.cache_oracle.cache
@@ -216,18 +264,22 @@ class Campaign:
                 model=None,
                 error=f"{type(error).__name__}: {error}",
             )
-        result = RunResult(spec=spec, report=report, model=report.model)
+        result = RunResult(
+            spec=spec,
+            report=report,
+            model=report.model,
+            properties=properties_report,
+        )
         if self.output_dir is not None:
             try:
-                result.artifact_dir = str(self._write_artifacts(index, spec, report))
+                result.artifact_dir = str(self._write_artifacts(index, result))
             except OSError as error:
                 # Keep the learned result; only the artifact write failed.
                 result.error = f"artifact write failed: {error}"
         return result
 
-    def _write_artifacts(
-        self, index: int, spec: ExperimentSpec, report: LearningReport
-    ) -> Path:
+    def _write_artifacts(self, index: int, result: RunResult) -> Path:
+        spec, report = result.spec, result.report
         directory = self.output_dir / f"{index:03d}-{_safe_name(spec.display_name())}"
         directory.mkdir(parents=True, exist_ok=True)
         (directory / "spec.json").write_text(spec.to_json() + "\n")
@@ -238,6 +290,10 @@ class Campaign:
         (directory / "report.json").write_text(
             json.dumps(report.to_dict(), indent=2) + "\n"
         )
+        if result.properties is not None:
+            (directory / "properties.json").write_text(
+                json.dumps(result.properties.to_dict(), indent=2) + "\n"
+            )
         return directory
 
 
@@ -268,15 +324,31 @@ class DiffTestResult:
     def summary(self) -> str:
         learned = sum(1 for run in self.runs if run.model is not None)
         divergent = self.matrix.divergent_pairs()
-        return (
+        text = (
             f"difftest: {learned}/{len(self.runs)} models learned, "
             f"{len(divergent)} divergent pairs"
         )
+        violated = sum(
+            1
+            for run in self.runs
+            if run.properties is not None and not run.properties.ok
+        )
+        if violated:
+            text += f", {violated} members violate properties"
+        return text
 
     def render(self) -> str:
         lines = [run.summary() for run in self.runs]
         lines.append("")
         lines.append(self.matrix.render())
+        property_lines = [
+            run.properties.summary()
+            for run in self.runs
+            if run.properties is not None
+        ]
+        if property_lines:
+            lines.append("")
+            lines.extend(property_lines)
         return "\n".join(lines)
 
 
@@ -369,11 +441,27 @@ class DiffCampaign:
         return cls(specs, **campaign_kwargs)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _with_properties(spec: ExperimentSpec) -> ExperimentSpec:
+        """A member spec with its registered property suite switched on.
+
+        Differential campaigns run each family member's suite alongside
+        cross-replay; a spec that already carries a ``properties``
+        section keeps it, and a target with no registered suite runs
+        without one.
+        """
+        if spec.properties is not None:
+            return spec
+        if resolve_property_suite(spec.target) is None:
+            return spec
+        return spec.clone(properties=PropertiesSpec())
+
     def run(self) -> DiffTestResult:
-        """Learn every model, cross-replay every suite, build the matrix."""
+        """Learn every model, run each member's property suite,
+        cross-replay every test suite, build the matrix."""
         load_builtins()
         campaign = Campaign(
-            self.specs,
+            [self._with_properties(spec) for spec in self.specs],
             workers=self.workers,
             output_dir=(
                 self.output_dir / "runs" if self.output_dir is not None else None

@@ -5,7 +5,10 @@ Gives the framework the shape of a releasable tool:
 * ``learn``      -- learn a model of a registered SUL target, print/export it
 * ``compare``    -- learn two SULs and diff their models
 * ``check``      -- model-check an LTLf property against a learned model
-* ``properties`` -- run the QUIC property suite against a learned model
+* ``properties`` -- run a registered property suite (tcp, quic, http2,
+  toy, plug-ins) and/or ad-hoc LTLf formulas against learned models;
+  accepts targets, whole families and spec files, and emits
+  ``properties.json`` verdict artifacts with minimized witnesses
 * ``issues``     -- reproduce one of the paper's four findings
 * ``run``        -- execute a declarative experiment spec (JSON file)
 * ``sweep``      -- run a campaign grid: targets x learners x seeds
@@ -90,35 +93,145 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1
 
 
+def _expand_member_specs(
+    members: Sequence[str],
+    learner: str = "ttt",
+    seed: int = 0,
+    sul_workers: int = 1,
+    exact: bool = False,
+) -> tuple[list, str | None]:
+    """Expand families/targets/spec files into a list of experiment specs.
+
+    Family names expand to all of their members ("quic" -> the three
+    implementations) anywhere in the argument list.  A name that is both
+    a registered target and a family stem ("http2", "tcp") expands only
+    when it is the sole argument; ``exact`` suppresses expansion
+    entirely.  Returns ``(specs, None)`` on success or ``(None, error
+    message)``.
+    """
+    from pathlib import Path
+
+    from .spec import ExperimentSpec
+
+    load_builtins()
+    families = SUL_REGISTRY.families()
+    expanded: list[str] = []
+    for member in members:
+        is_family = len(families.get(member, ())) > 1
+        expand = is_family and (
+            member not in SUL_REGISTRY or len(members) == 1
+        )
+        if expand and not exact:
+            expanded.extend(families[member])
+        else:
+            expanded.append(member)
+    # An expansion overlapping an explicit target must not duplicate runs.
+    expanded = list(dict.fromkeys(expanded))
+    specs = []
+    for member in expanded:
+        if member in SUL_REGISTRY:
+            specs.append(
+                ExperimentSpec(
+                    target=member,
+                    learner=learner,
+                    seed=seed,
+                    workers=sul_workers,
+                    name=member,
+                )
+            )
+            continue
+        path = Path(member)
+        if path.suffix == ".json" or path.exists():
+            try:
+                spec = ExperimentSpec.from_file(path)
+            except (OSError, ValueError) as error:
+                return None, f"cannot load spec {member}: {error}"
+            if spec.name is None:
+                spec.name = path.stem
+            specs.append(spec)
+            continue
+        known = ", ".join(sorted(set(families) | set(SUL_REGISTRY.names())))
+        return None, (
+            f"unknown target {member!r} (not a registered target, "
+            f"family, or spec file); known: {known}"
+        )
+    return specs, None
+
+
 def _cmd_properties(args: argparse.Namespace) -> int:
-    if args.target.startswith("http2"):
-        from .analysis.http2_properties import (
-            check_http2_properties,
-            render_results,
-        )
+    from .analysis.property_api import resolve_properties
+    from .campaign import Campaign
+    from .spec import PropertiesSpec, SpecError
 
-        with _learn(args.target) as experiment:
-            results = check_http2_properties(experiment.model, depth=args.depth)
-        print(render_results(results))
-        return 0 if all(r.holds for r in results) else 1
-
-    from .analysis.quic_properties import (
-        DESIGN_PROBES,
-        STANDARD_PROPERTIES,
-        check_quic_properties,
-        render_results,
+    specs, error = _expand_member_specs(
+        args.targets, learner=args.learner, seed=args.seed, exact=args.exact
     )
-
-    if not args.target.startswith("quic-"):
-        print("the property suite applies to QUIC and HTTP/2 targets", file=sys.stderr)
+    if error is not None:
+        print(error, file=sys.stderr)
         return 2
-    with _learn(args.target) as experiment:
-        properties = STANDARD_PROPERTIES + (DESIGN_PROBES if args.probes else ())
-        results = check_quic_properties(
-            experiment.model, properties, depth=args.depth
+    from .registry import RegistryError
+
+    formulas = args.formula or []
+    for spec in specs:
+        if spec.properties is None:
+            spec.properties = PropertiesSpec(
+                depth=args.depth,
+                formulas=list(formulas),
+                include_probes=args.probes,
+            )
+        else:
+            # A spec file's own section wins; CLI formulas are appended.
+            spec.properties.formulas.extend(formulas)
+    try:
+        resolved = [
+            resolve_properties(
+                spec.target,
+                suite=spec.properties.suite,
+                formulas=spec.properties.formulas,
+                include_probes=True,
+            )
+            for spec in specs
+        ]
+    except RegistryError as error:
+        print(f"invalid property campaign: {error}", file=sys.stderr)
+        return 2
+    if args.list:
+        for spec, properties in zip(specs, resolved):
+            print(f"{spec.display_name()}:")
+            if not properties:
+                print("  (no properties registered for this target)")
+            for prop in properties:
+                print(f"  {prop.name:<32} [{prop.kind}] {prop.description}")
+        return 0
+    if not any(resolved):
+        print(
+            "no properties to check: no registered suite for these targets "
+            "and no --formula given (see 'repro properties --list')",
+            file=sys.stderr,
         )
-    print(render_results(results))
-    return 0 if all(r.holds for r in results if r.property.name != "single-packet-close") else 1
+        return 2
+    try:
+        results = Campaign(
+            specs, workers=args.workers, output_dir=args.out, share_cache=True
+        ).run()
+    except (SpecError, KeyError) as error:
+        print(f"invalid property campaign: {error}", file=sys.stderr)
+        return 2
+    failed = False
+    for result in results:
+        if len(results) > 1:
+            print(f"== {result.spec.display_name()}")
+        if not result.ok:
+            print(f"FAILED ({result.error})", file=sys.stderr)
+            failed = True
+            continue
+        print(result.properties.render())
+        print(result.properties.summary())
+        if result.artifact_dir:
+            print(f"artifacts: {result.artifact_dir}")
+        if not result.properties.ok:
+            failed = True
+    return 1 if failed else 0
 
 
 def _cmd_issues(args: argparse.Namespace) -> int:
@@ -202,60 +315,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_difftest(args: argparse.Namespace) -> int:
-    from pathlib import Path
-
     from .campaign import DiffCampaign
-    from .spec import ExperimentSpec, SpecError
+    from .spec import SpecError
 
-    load_builtins()
-    families = SUL_REGISTRY.families()
-    members: list[str] = []
-    for member in args.targets:
-        # Family names expand to all of their members ("quic" -> the three
-        # implementations) anywhere in the argument list.  A name that is
-        # both a registered target and a family stem ("http2", "tcp")
-        # expands only when it is the sole argument; --exact suppresses
-        # expansion entirely (a 1x1 self-conformance check).
-        is_family = len(families.get(member, ())) > 1
-        expand = is_family and (
-            member not in SUL_REGISTRY or len(args.targets) == 1
-        )
-        if expand and not args.exact:
-            members.extend(families[member])
-        else:
-            members.append(member)
-    # An expansion overlapping an explicit target must not duplicate runs.
-    members = list(dict.fromkeys(members))
-    specs = []
-    for member in members:
-        if member in SUL_REGISTRY:
-            specs.append(
-                ExperimentSpec(
-                    target=member,
-                    learner=args.learner,
-                    seed=args.seed,
-                    workers=args.sul_workers,
-                    name=member,
-                )
-            )
-            continue
-        path = Path(member)
-        if path.suffix == ".json" or path.exists():
-            try:
-                spec = ExperimentSpec.from_file(path)
-            except (OSError, ValueError) as error:
-                print(f"cannot load spec {member}: {error}", file=sys.stderr)
-                return 2
-            if spec.name is None:
-                spec.name = path.stem
-            specs.append(spec)
-            continue
-        known = ", ".join(sorted(set(families) | set(SUL_REGISTRY.names())))
-        print(
-            f"unknown difftest target {member!r} (not a registered target, "
-            f"family, or spec file); known: {known}",
-            file=sys.stderr,
-        )
+    specs, error = _expand_member_specs(
+        args.targets,
+        learner=args.learner,
+        seed=args.seed,
+        sul_workers=args.sul_workers,
+        exact=args.exact,
+    )
+    if error is not None:
+        print(f"difftest: {error}", file=sys.stderr)
         return 2
     try:
         campaign = DiffCampaign(
@@ -313,11 +384,46 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--depth", type=int, default=6)
     check.set_defaults(func=_cmd_check)
 
-    properties = sub.add_parser("properties", help="run the QUIC property suite")
-    properties.add_argument("target", choices=targets)
+    properties = sub.add_parser(
+        "properties",
+        help="run a registered property suite (and ad-hoc LTLf formulas) "
+        "against learned models",
+    )
+    properties.add_argument(
+        "targets",
+        nargs="+",
+        metavar="target|family|spec.json",
+        help="a registered target, a family (e.g. 'quic'), or an "
+        "ExperimentSpec JSON file (mixable); suites resolve by target "
+        "name, then family stem",
+    )
+    properties.add_argument("--learner", choices=learners, default="ttt")
     properties.add_argument("--depth", type=int, default=5)
+    properties.add_argument("--seed", type=int, default=0)
+    properties.add_argument(
+        "--formula",
+        action="append",
+        metavar="LTLF",
+        help='ad-hoc LTLf property, e.g. "G (out != NIL)" (repeatable)',
+    )
     properties.add_argument(
         "--probes", action="store_true", help="include design-decision probes"
+    )
+    properties.add_argument(
+        "--list",
+        action="store_true",
+        help="list the resolved properties without learning anything",
+    )
+    properties.add_argument(
+        "--workers", type=int, default=1, help="concurrent runs"
+    )
+    properties.add_argument(
+        "--out", help="write properties.json artifacts under this directory"
+    )
+    properties.add_argument(
+        "--exact",
+        action="store_true",
+        help="treat every name as an exact target; never expand families",
     )
     properties.set_defaults(func=_cmd_properties)
 

@@ -7,14 +7,17 @@ each component kind has a :class:`Registry` that maps a short string key to
 a factory.  A :class:`repro.spec.ExperimentSpec` names components by key,
 which is what makes specs serializable and campaigns enumerable.
 
-Four registries are provided:
+Five registries are provided:
 
 * :data:`SUL_REGISTRY` -- factories building a fresh
   :class:`~repro.adapter.sul.SUL` from keyword params (``seed`` etc.);
 * :data:`LEARNER_REGISTRY` -- ``factory(oracle, equivalence_oracle, ...)``;
 * :data:`EQ_ORACLE_REGISTRY` -- ``factory(oracle, ...)``;
 * :data:`MIDDLEWARE_REGISTRY` -- ``factory(inner_oracle, ...)`` membership
-  -oracle layers (cache, majority vote, ...).
+  -oracle layers (cache, majority vote, ...);
+* :data:`PROPERTY_REGISTRY` -- ``factory()`` property suites (sequences
+  of :class:`~repro.analysis.property_api.Property`), keyed by target
+  name or family stem and registered with :func:`register_properties`.
 
 Built-in components register themselves on import of their home module;
 :func:`load_builtins` triggers those imports and is called by every spec
@@ -122,6 +125,41 @@ LEARNER_REGISTRY: Registry = Registry("learner")
 EQ_ORACLE_REGISTRY: Registry = Registry("equivalence oracle")
 #: Membership-oracle middleware layers (``cache``, ``majority-vote``).
 MIDDLEWARE_REGISTRY: Registry = Registry("oracle middleware")
+#: Property suites (``tcp``, ``quic``, ``http2``, ``toy``, plug-ins),
+#: keyed by SUL target name or family stem.
+PROPERTY_REGISTRY: Registry = Registry("property suite")
+
+
+def register_properties(name: str) -> Callable:
+    """Register a property-suite factory under ``name`` (decorator form).
+
+    The factory takes no arguments and returns a sequence of
+    :class:`~repro.analysis.property_api.Property`.  Keys follow SUL
+    target naming: an exact target key (``http2-buggy``) wins over the
+    family stem (``http2``), so a whole family usually shares one suite
+    registered under the stem::
+
+        @register_properties("quic")
+        def quic_properties() -> tuple[Property, ...]: ...
+    """
+    return PROPERTY_REGISTRY.register(name)
+
+
+def resolve_property_suite(target: str):
+    """The property suite for a SUL target, or ``None`` when unregistered.
+
+    Resolution tries the exact target key first, then the
+    ``-``-separated family stem -- the same stem grouping
+    :meth:`Registry.families` uses, so ``quic-google`` finds the suite
+    registered as ``quic``.
+    """
+    load_builtins()
+    if target in PROPERTY_REGISTRY:
+        return tuple(PROPERTY_REGISTRY.create(target))
+    stem = target.split("-", 1)[0]
+    if stem in PROPERTY_REGISTRY:
+        return tuple(PROPERTY_REGISTRY.create(stem))
+    return None
 
 
 def supported_kwargs(
@@ -168,6 +206,12 @@ def load_builtins() -> None:
     # it unset so the next call retries (and re-raises the real error)
     # instead of silently no-op'ing over half-populated registries.
     from .adapter import http2_adapter, mealy_sul, tcp_adapter, quic_adapter  # noqa: F401
+    from .analysis import (  # noqa: F401
+        http2_properties,
+        quic_properties,
+        tcp_properties,
+        toy_properties,
+    )
     from .learn import cache, equivalence, lstar, nondeterminism, ttt  # noqa: F401
 
     _BUILTINS_LOADED = True

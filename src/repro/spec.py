@@ -71,6 +71,70 @@ class ComponentSpec:
         return ComponentSpec(kind=self.kind, params=dict(self.params))
 
 
+_PROPERTIES_FIELDS = {"suite", "depth", "formulas", "include_probes", "minimize"}
+
+
+@dataclass
+class PropertiesSpec:
+    """The declarative ``properties`` section of an experiment spec.
+
+    Describes which property checks run against the learned model:
+    ``suite`` names a :data:`repro.registry.PROPERTY_REGISTRY` key
+    explicitly (``None`` auto-resolves the target's own suite by
+    name/family stem), ``formulas`` adds ad-hoc LTLf formula strings,
+    ``depth`` bounds the exhaustive model exploration,
+    ``include_probes`` keeps design-decision probes in the run, and
+    ``minimize`` controls ddmin witness reduction.  Like every spec
+    layer it is JSON-round-trippable and contains no code.
+    """
+
+    suite: str | None = None
+    depth: int = 5
+    formulas: list[str] = field(default_factory=list)
+    include_probes: bool = False
+    minimize: bool = True
+
+    def to_dict(self) -> dict:
+        return {
+            "suite": self.suite,
+            "depth": self.depth,
+            "formulas": list(self.formulas),
+            "include_probes": self.include_probes,
+            "minimize": self.minimize,
+        }
+
+    @classmethod
+    def from_dict(cls, data: "PropertiesSpec | Mapping | None") -> "PropertiesSpec | None":
+        if data is None or isinstance(data, PropertiesSpec):
+            return data
+        if not isinstance(data, Mapping):
+            raise SpecError(f"properties spec must be a mapping, got {data!r}")
+        unknown = set(data) - _PROPERTIES_FIELDS
+        if unknown:
+            raise SpecError(f"unknown properties spec keys: {sorted(unknown)}")
+        fields = dict(data)
+        fields["formulas"] = list(fields.get("formulas") or [])
+        return cls(**fields)
+
+    def clone(self) -> "PropertiesSpec":
+        return PropertiesSpec(
+            suite=self.suite,
+            depth=self.depth,
+            formulas=list(self.formulas),
+            include_probes=self.include_probes,
+            minimize=self.minimize,
+        )
+
+    def validate(self) -> "PropertiesSpec":
+        from .registry import PROPERTY_REGISTRY
+
+        if self.depth < 1:
+            raise SpecError(f"need a positive property depth, got {self.depth}")
+        if self.suite is not None:
+            PROPERTY_REGISTRY.get(self.suite)  # raises RegistryError
+        return self
+
+
 def default_equivalence() -> list[ComponentSpec]:
     """The default EQ chain: W-method with one extra state (paper setup)."""
     return [ComponentSpec("wmethod", {"extra_states": 1})]
@@ -92,6 +156,7 @@ _SPEC_FIELDS = {
     "seed",
     "batch_size",
     "name",
+    "properties",
 }
 
 
@@ -119,10 +184,12 @@ class ExperimentSpec:
     seed: int = 0
     batch_size: int = 64
     name: str | None = None
+    properties: PropertiesSpec | None = None
 
     def __post_init__(self) -> None:
         self.equivalence = [ComponentSpec.from_dict(e) for e in self.equivalence]
         self.middleware = [ComponentSpec.from_dict(m) for m in self.middleware]
+        self.properties = PropertiesSpec.from_dict(self.properties)
 
     # -- identity ----------------------------------------------------------
     def display_name(self) -> str:
@@ -157,6 +224,9 @@ class ExperimentSpec:
             "seed": self.seed,
             "batch_size": self.batch_size,
             "name": self.name,
+            "properties": (
+                None if self.properties is None else self.properties.to_dict()
+            ),
         }
 
     @classmethod
@@ -199,6 +269,9 @@ class ExperimentSpec:
             "seed": self.seed,
             "batch_size": self.batch_size,
             "name": self.name,
+            "properties": (
+                None if self.properties is None else self.properties.clone()
+            ),
         }
         unknown = set(overrides) - _SPEC_FIELDS
         if unknown:
@@ -216,6 +289,8 @@ class ExperimentSpec:
             raise SpecError(f"need a positive batch_size, got {self.batch_size}")
         if not self.equivalence:
             raise SpecError("spec needs at least one equivalence oracle")
+        if self.properties is not None:
+            self.properties.validate()
         for registry, keys in (
             (SUL_REGISTRY, [self.target]),
             (LEARNER_REGISTRY, [self.learner]),

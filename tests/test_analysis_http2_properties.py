@@ -4,14 +4,14 @@ import pytest
 
 from repro.analysis.http2_properties import (
     STANDARD_PROPERTIES,
-    check_http2_properties,
     check_stream_id_monotonicity,
-    render_results,
     stream_id_violations,
 )
+from repro.analysis.property_api import Verdict
 from repro.core.oracle_table import OracleTable
 from repro.core.alphabet import parse_http2_symbol
 from repro.experiments import learn_http2
+from repro.registry import resolve_property_suite
 
 
 @pytest.fixture(scope="module")
@@ -28,14 +28,30 @@ def buggy():
     experiment.close()
 
 
+def run_suite(experiment, depth=5):
+    """The suite exactly as campaigns run it: model checks plus the
+    oracle-table check over the learning run's observations."""
+    return experiment.prognosis.check_properties(experiment.model, depth=depth)
+
+
+class TestSuiteDefinition:
+    def test_registered_for_both_servers_by_stem(self):
+        assert resolve_property_suite("http2") == STANDARD_PROPERTIES
+        assert resolve_property_suite("http2-buggy") == STANDARD_PROPERTIES
+
+    def test_stream_id_check_is_oracle_kind(self):
+        kinds = {p.name: p.kind for p in STANDARD_PROPERTIES}
+        assert kinds["stream-ids-monotonic"] == "oracle"
+
+
 class TestConformantServer:
     def test_all_properties_hold(self, conformant):
-        results = check_http2_properties(conformant.model, depth=5)
-        assert all(result.holds for result in results)
+        report = run_suite(conformant, depth=5)
+        assert all(v.holds for v in report), report.render()
 
     def test_render_lists_every_property(self, conformant):
-        results = check_http2_properties(conformant.model, depth=3)
-        rendered = render_results(results)
+        report = run_suite(conformant, depth=3)
+        rendered = report.render()
         for prop in STANDARD_PROPERTIES:
             assert prop.name in rendered
         assert "VIOLATED" not in rendered
@@ -45,27 +61,38 @@ class TestConformantServer:
         assert len(oracle_table) > 0
         assert check_stream_id_monotonicity(oracle_table)
 
+    def test_oracle_check_skipped_without_table(self, conformant):
+        from repro.analysis.property_api import check_properties
+
+        report = check_properties(conformant.model, STANDARD_PROPERTIES)
+        assert report.verdict("stream-ids-monotonic").verdict == Verdict.SKIPPED
+
 
 class TestBuggyServer:
     def test_quirk_flagged_by_rst_property(self, buggy):
-        """Acceptance: the seeded quirk is caught by a named property."""
-        results = {r.property.name: r for r in check_http2_properties(buggy.model)}
-        violated = results["rst-after-response-tolerated"]
-        assert not violated.holds
-        witness = violated.violation.trace.render()
+        """Acceptance: the seeded quirk is caught by a named property,
+        now with a ddmin-minimized witness."""
+        report = run_suite(buggy)
+        violated = report.verdict("rst-after-response-tolerated")
+        assert violated.verdict == Verdict.VIOLATED
+        assert violated.minimized
+        witness = violated.witness.render()
         assert "RST_STREAM[]/GOAWAY[]" in witness
+        # Minimal repro: open a stream, get the response, reset it.
+        assert len(violated.witness) <= 3
 
     def test_other_properties_still_hold(self, buggy):
-        results = check_http2_properties(buggy.model)
-        holding = {r.property.name for r in results if r.holds}
+        report = run_suite(buggy)
+        holding = {v.property.name for v in report if v.holds}
         assert holding == {
             "no-data-before-headers",
             "goaway-terminal",
             "settings-acked",
+            "stream-ids-monotonic",
         }
 
     def test_render_marks_violation_with_witness(self, buggy):
-        rendered = render_results(check_http2_properties(buggy.model))
+        rendered = run_suite(buggy).render()
         assert "VIOLATED" in rendered
         assert "witness:" in rendered
 
@@ -75,7 +102,6 @@ class TestStreamIdCheck:
         return tuple(parse_http2_symbol(label) for label in labels)
 
     def record(self, table, sids):
-        """One fake query of HEADERS inputs with the given stream ids."""
         inputs = self.word(*(["HEADERS[END_HEADERS,END_STREAM]"] * len(sids)))
         outputs = self.word(*(["HEADERS[END_HEADERS]"] * len(sids)))
         table.record(

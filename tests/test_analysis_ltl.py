@@ -126,6 +126,164 @@ class TestModelChecking:
             assert toy_machine.run(t.inputs) == t.outputs
 
 
+class TestParserPrecedence:
+    """Parse -> evaluate against hand-built combinator trees.
+
+    Structural comparison is impossible (atoms close over lambdas), so
+    equivalence is judged by evaluation over a trace set that exercises
+    every operator: precedence mistakes flip at least one verdict.
+    """
+
+    IN_SYN = input_is(str(SYN))
+    IN_ACK = input_is(str(ACK))
+    OUT_NIL = output_is("NIL")
+    OUT_SYN = output_contains("SYN")
+
+    TRACES = [
+        trace(),
+        trace((SYN, SYNACK)),
+        trace((ACK, NIL)),
+        trace((SYN, NIL), (ACK, SYNACK)),
+        trace((SYN, SYNACK), (SYN, NIL), (ACK, NIL)),
+        trace((ACK, SYNACK), (ACK, NIL), (SYN, SYNACK), (SYN, SYNACK)),
+    ]
+
+    def assert_equivalent(self, text, expected):
+        parsed = parse_ltl(text)
+        for t in self.TRACES:
+            assert parsed.holds(t) == expected.holds(t), (text, t.render())
+
+    def test_and_binds_tighter_than_or(self):
+        from repro.analysis.ltl import And, Or
+
+        self.assert_equivalent(
+            f"in == {SYN} && out == NIL || out ~ SYN",
+            Or(And(self.IN_SYN, self.OUT_NIL), self.OUT_SYN),
+        )
+
+    def test_not_binds_tighter_than_and(self):
+        from repro.analysis.ltl import And
+
+        self.assert_equivalent(
+            f"! out == NIL && in == {SYN}",
+            And(Not(self.OUT_NIL), self.IN_SYN),
+        )
+
+    def test_until_binds_looser_than_or(self):
+        from repro.analysis.ltl import Or
+
+        self.assert_equivalent(
+            f"out == NIL U in == {SYN} || out ~ SYN",
+            Until(self.OUT_NIL, Or(self.IN_SYN, self.OUT_SYN)),
+        )
+
+    def test_implication_is_lowest_and_right_associative(self):
+        self.assert_equivalent(
+            f"G in == {SYN} -> out == NIL -> out ~ SYN",
+            Globally(self.IN_SYN).implies(self.OUT_NIL.implies(self.OUT_SYN)),
+        )
+
+    def test_temporal_operators_bind_tighter_than_and(self):
+        from repro.analysis.ltl import And
+
+        self.assert_equivalent(
+            "G out == NIL && F out ~ SYN",
+            And(Globally(self.OUT_NIL), Eventually(self.OUT_SYN)),
+        )
+
+
+class TestParserRoundTrip:
+    """Seeded random (text, hand-built tree) pairs agree on random traces."""
+
+    ATOMS = [
+        (f"in == {SYN}", input_is(str(SYN))),
+        ("out == NIL", output_is("NIL")),
+        ("out ~ SYN", output_contains("SYN")),
+        (f"in != {ACK}", Not(input_is(str(ACK)))),
+    ]
+
+    @classmethod
+    def random_formula(cls, rng, depth):
+        from repro.analysis.ltl import And, Or
+
+        if depth == 0 or rng.random() < 0.3:
+            return rng.choice(cls.ATOMS)
+        op = rng.choice(["!", "G", "F", "X", "&&", "||", "->", "U"])
+        left_text, left = cls.random_formula(rng, depth - 1)
+        if op in ("!", "G", "F", "X"):
+            built = {
+                "!": Not, "G": Globally, "F": Eventually, "X": Next
+            }[op](left)
+            return f"{op} ({left_text})", built
+        right_text, right = cls.random_formula(rng, depth - 1)
+        built = {
+            "&&": lambda: And(left, right),
+            "||": lambda: Or(left, right),
+            "->": lambda: left.implies(right),
+            "U": lambda: Until(left, right),
+        }[op]()
+        return f"({left_text}) {op} ({right_text})", built
+
+    def test_seeded_round_trip(self):
+        import random
+
+        rng = random.Random(1234)
+        steps = [(SYN, SYNACK), (ACK, NIL), (SYN, NIL), (ACK, SYNACK)]
+        traces = [
+            trace(*[rng.choice(steps) for _ in range(rng.randint(1, 6))])
+            for _ in range(25)
+        ]
+        for _ in range(150):
+            text, built = self.random_formula(rng, depth=3)
+            parsed = parse_ltl(text)
+            for t in traces:
+                assert parsed.holds(t) == built.holds(t), text
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis_round_trip(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        text, built = self.random_formula(rng, depth=3)
+        parsed = parse_ltl(text)
+        steps = [(SYN, SYNACK), (ACK, NIL), (SYN, NIL)]
+        for length in range(4):
+            t = trace(*[steps[(seed + i) % len(steps)] for i in range(length)])
+            assert parsed.holds(t) == built.holds(t), text
+
+
+class TestParserErrorPaths:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "out == NIL extra",      # trailing tokens
+            "G",                     # unexpected end after unary
+            "(out == NIL",           # missing closing paren
+            "foo == NIL",            # field must be in/out
+            "out && NIL",            # unknown atom operator
+            "G (out ===== NIL)",     # untokenizable garbage
+            "",                      # empty formula
+        ],
+    )
+    def test_malformed_formulas_raise(self, text):
+        with pytest.raises(LTLError):
+            parse_ltl(text)
+
+
+class TestRandomTracesEdgeCases:
+    def test_empty_alphabet_yields_no_traces(self):
+        """Regression: rng.choice(()) used to raise IndexError."""
+        from repro.core.alphabet import Alphabet
+        from repro.core.mealy import MealyMachine
+
+        empty = MealyMachine("s", Alphabet.of([]), {}, "empty")
+        assert random_traces(empty, num_traces=10, max_length=5) == []
+
+    def test_zero_traces_requested(self, toy_machine):
+        assert random_traces(toy_machine, num_traces=0, max_length=5) == []
+
+
 # Property: G p == !F !p on arbitrary traces.
 _OUTS = [NIL, SYNACK]
 

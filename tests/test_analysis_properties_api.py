@@ -1,0 +1,261 @@
+"""Tests for the unified property-checking API.
+
+Covers the four property kinds, verdict semantics, ddmin witness
+minimization against the model, JSON serialization, batch fan-out, the
+suite registry, and the no-orphaned-frameworks dedup gate.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.property_api import (
+    Property,
+    PropertyError,
+    Verdict,
+    check_model_property,
+    check_properties,
+    check_properties_batch,
+    formula_properties,
+    resolve_properties,
+)
+from repro.core.alphabet import parse_tcp_symbol
+from repro.registry import (
+    PROPERTY_REGISTRY,
+    RegistryError,
+    register_properties,
+    resolve_property_suite,
+)
+
+SYN = parse_tcp_symbol("SYN(?,?,0)")
+ACK = parse_tcp_symbol("ACK(?,?,0)")
+
+
+class TestPropertyConstruction:
+    def test_kind_payload_pairing_enforced(self):
+        with pytest.raises(PropertyError):
+            Property(name="p", description="", kind="ltlf")  # no formula
+        with pytest.raises(PropertyError):
+            Property(name="p", description="", kind="nope", formula="x")
+
+    def test_constructors_set_kind(self):
+        assert Property.ltlf("p", "G (out == NIL)").kind == "ltlf"
+        assert Property.trace("p", lambda t: True).kind == "trace"
+        assert Property.oracle("p", lambda table: []).kind == "oracle"
+        assert Property.register("p", lambda s, p: True).kind == "register"
+
+    def test_probe_tag(self):
+        probe = Property.trace("p", lambda t: True, tags=("probe",))
+        assert probe.is_probe
+        assert not Property.trace("p", lambda t: True).is_probe
+
+
+class TestVerdicts:
+    def test_ltlf_holds(self, toy_machine):
+        prop = Property.ltlf("ack-silent", "G (in == ACK(?,?,0) -> out == NIL)")
+        verdict = check_model_property(toy_machine, prop, depth=4)
+        assert verdict.verdict == Verdict.HOLDS
+        assert verdict.holds
+
+    def test_ltlf_violation_carries_minimized_witness(self, toy_machine):
+        prop = Property.ltlf("always-silent", "G (out == NIL)")
+        verdict = check_model_property(toy_machine, prop, depth=4)
+        assert verdict.verdict == Verdict.VIOLATED
+        assert verdict.minimized
+        # 1-minimal: the single SYN that draws SYN+ACK.
+        assert len(verdict.witness) == 1
+        assert "SYN" in verdict.witness.render()
+
+    def test_ltlf_parse_error_is_error_verdict(self, toy_machine):
+        prop = Property.ltlf("broken", "G (out ===== NIL)")
+        verdict = check_model_property(toy_machine, prop, depth=3)
+        assert verdict.verdict == Verdict.ERROR
+        assert "parse error" in verdict.detail
+
+    def test_trace_predicate_violation_minimized(self, toy_machine):
+        # Violated by any trace containing an RST output; the minimal
+        # model witness is SYN SYN (open the lock, then re-SYN).
+        prop = Property.trace(
+            "never-rst", lambda t: all("RST" not in str(o) for o in t.outputs)
+        )
+        verdict = check_model_property(toy_machine, prop, depth=4)
+        assert verdict.verdict == Verdict.VIOLATED
+        assert verdict.minimized
+        assert len(verdict.witness) == 2
+
+    def test_crashing_predicate_is_error_verdict(self, toy_machine):
+        def boom(trace):
+            raise RuntimeError("bad predicate")
+
+        verdict = check_model_property(
+            toy_machine, Property.trace("boom", boom), depth=3
+        )
+        assert verdict.verdict == Verdict.ERROR
+        assert "RuntimeError" in verdict.detail
+
+    def test_oracle_kind_skipped_without_table(self, toy_machine):
+        prop = Property.oracle("ids", lambda table: [])
+        verdict = check_model_property(toy_machine, prop, depth=3)
+        assert verdict.verdict == Verdict.SKIPPED
+
+    def test_register_kind_skipped_without_machine(self, toy_machine):
+        prop = Property.register("pn", lambda steps, predictions: True)
+        verdict = check_model_property(toy_machine, prop, depth=3)
+        assert verdict.verdict == Verdict.SKIPPED
+
+    def test_register_kind_checks_concrete_traces(self, toy_machine):
+        from repro.core.extended import ConcreteStep
+        from repro.synth import synthesize
+        from repro.core.alphabet import Alphabet
+        from repro.core.mealy import mealy_from_table
+
+        synack = parse_tcp_symbol("ACK+SYN(?,?,0)")
+        skeleton = mealy_from_table(
+            "s0",
+            Alphabet.of([SYN]),
+            [("s0", SYN, synack, "s0")],
+            "reg-skel",
+        )
+        traces = [
+            [
+                ConcreteStep(SYN, synack, {"pn": 0}, {"pn": 7}),
+                ConcreteStep(SYN, synack, {"pn": 1}, {"pn": 7}),
+            ]
+        ]
+        machine = synthesize(skeleton, traces, register_names=("r",)).machine
+
+        def increasing(steps, predictions):
+            values = [p["pn"] for p in predictions if "pn" in p]
+            return values == sorted(set(values))
+
+        prop = Property.register("pn-increasing", increasing)
+        verdict = check_model_property(
+            toy_machine, prop, extended=machine, concrete_traces=traces
+        )
+        assert verdict.verdict == Verdict.VIOLATED
+        assert verdict.witness is not None
+
+
+class TestReport:
+    def suite(self):
+        return (
+            Property.ltlf("holds", "G (in == ACK(?,?,0) -> out == NIL)"),
+            Property.ltlf("fails", "G (out == NIL)"),
+            Property.ltlf("probe-fails", "G (out != RST(?,?,0))", tags=("probe",)),
+            Property.oracle("skipped", lambda table: []),
+        )
+
+    def test_report_counts_and_ok(self, toy_machine):
+        report = check_properties(toy_machine, self.suite(), depth=4)
+        counts = report.counts()
+        assert counts == {"holds": 1, "violated": 2, "skipped": 1, "error": 0}
+        assert not report.ok  # the non-probe violation fails the report
+        assert report.verdict("fails").violated
+        with pytest.raises(KeyError):
+            report.verdict("absent")
+
+    def test_probe_violations_do_not_fail_ok(self, toy_machine):
+        probe_only = (
+            Property.ltlf("holds", "G (in == ACK(?,?,0) -> out == NIL)"),
+            Property.ltlf("probe-fails", "G (out != RST(?,?,0))", tags=("probe",)),
+        )
+        report = check_properties(toy_machine, probe_only, depth=4)
+        assert report.ok
+        assert "DIFFERS (probe)" in report.render()
+
+    def test_render_and_summary(self, toy_machine):
+        report = check_properties(toy_machine, self.suite(), depth=4)
+        rendered = report.render()
+        assert "VIOLATED" in rendered
+        assert "witness:" in rendered
+        assert "holds" in report.summary()
+
+    def test_to_dict_is_jsonable(self, toy_machine):
+        report = check_properties(toy_machine, self.suite(), depth=4)
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["depth"] == 4
+        assert data["ok"] is False
+        fails = next(v for v in data["verdicts"] if v["property"] == "fails")
+        assert fails["verdict"] == "violated"
+        assert fails["witness"]["inputs"] == ["SYN(?,?,0)"]
+
+    def test_batch_matches_serial(self, toy_machine, redundant_machine):
+        jobs = [
+            (toy_machine, self.suite()),
+            (redundant_machine, self.suite()),
+        ]
+        serial = check_properties_batch(jobs, workers=1, depth=4)
+        pooled = check_properties_batch(jobs, workers=4, depth=4)
+        assert [r.to_dict() for r in serial] == [r.to_dict() for r in pooled]
+
+
+class TestSuiteRegistry:
+    def test_builtin_suites_registered(self):
+        from repro.registry import load_builtins
+
+        load_builtins()
+        for key in ("tcp", "quic", "http2", "toy"):
+            assert key in PROPERTY_REGISTRY
+
+    def test_stem_resolution(self):
+        exact = resolve_property_suite("quic")
+        by_stem = resolve_property_suite("quic-google")
+        assert exact is not None and by_stem is not None
+        assert [p.name for p in exact] == [p.name for p in by_stem]
+        assert resolve_property_suite("no-such-protocol") is None
+
+    def test_exact_key_wins_over_stem(self):
+        @register_properties("tcp-special")
+        def special():
+            return (Property.trace("only-here", lambda t: True),)
+
+        try:
+            suite = resolve_property_suite("tcp-special")
+            assert [p.name for p in suite] == ["only-here"]
+        finally:
+            PROPERTY_REGISTRY.unregister("tcp-special")
+
+    def test_resolve_properties_filters_probes_and_adds_formulas(self):
+        with_probes = resolve_properties("quic-google", include_probes=True)
+        without = resolve_properties("quic-google")
+        assert {p.name for p in with_probes} - {p.name for p in without} == {
+            "single-packet-close"
+        }
+        combined = resolve_properties(
+            "toy", formulas=["G (out == NIL)"]
+        )
+        assert combined[-1].kind == "ltlf"
+        assert combined[-1].formula == "G (out == NIL)"
+
+    def test_resolve_properties_unknown_suite_raises(self):
+        with pytest.raises(RegistryError):
+            resolve_properties("toy", suite="no-such-suite")
+
+    def test_formula_properties_named_after_text(self):
+        props = formula_properties(["G (out == NIL)"])
+        assert props[0].name == "formula: G (out == NIL)"
+
+
+class TestNoOrphanedFrameworks:
+    def test_single_property_framework_definition_site(self):
+        """The migration's dedup gate: the old per-protocol
+        ``PropertyResult``/``render_results`` frameworks must not leave
+        copies behind -- reports exist only in property_api."""
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        offenders = []
+        for path in src.rglob("*.py"):
+            text = path.read_text()
+            if "class PropertyResult" in text or "def render_results" in text:
+                offenders.append(str(path))
+        assert offenders == []
+
+    def test_report_class_defined_once(self):
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        sites = [
+            str(path)
+            for path in src.rglob("*.py")
+            if "class PropertyReport" in path.read_text()
+        ]
+        assert len(sites) == 1
+        assert sites[0].endswith("property_api.py")

@@ -1,19 +1,19 @@
 """Tests for the QUIC property suite over learned models."""
 
 
+from repro.analysis.property_api import Verdict, check_properties
 from repro.analysis.quic_properties import (
     DESIGN_PROBES,
     STANDARD_PROPERTIES,
-    check_quic_properties,
     client_done_draws_close,
     close_is_terminal_for_data,
     handshake_done_only_after_finished,
     no_server_flight_without_hello,
-    render_results,
     single_packet_close,
 )
 from repro.core.alphabet import parse_quic_output, parse_quic_symbol
 from repro.core.trace import IOTrace
+from repro.registry import resolve_property_suite
 
 CH = parse_quic_symbol("INITIAL(?,?)[CRYPTO]")
 HC = parse_quic_symbol("HANDSHAKE(?,?)[ACK,CRYPTO]")
@@ -64,21 +64,39 @@ class TestPredicates:
         assert single_packet_close(IOTrace((CH,), (CLOSE,)))
 
 
+class TestSuiteDefinition:
+    def test_registered_suite_is_standard_plus_probes(self):
+        suite = resolve_property_suite("quic-google")
+        assert suite == STANDARD_PROPERTIES + DESIGN_PROBES
+
+    def test_probe_is_tagged(self):
+        assert all(p.is_probe for p in DESIGN_PROBES)
+        assert not any(p.is_probe for p in STANDARD_PROPERTIES)
+
+
 class TestSuiteOnLearnedModels:
     def test_standard_properties_hold_on_quiche(self):
         from repro.experiments import learn_quic
 
         model = learn_quic("quiche").model
-        results = check_quic_properties(model, STANDARD_PROPERTIES, depth=4)
-        rendered = render_results(results)
-        assert all(r.holds for r in results), rendered
+        report = check_properties(model, STANDARD_PROPERTIES, depth=4)
+        assert all(v.holds for v in report), report.render()
 
     def test_design_probe_distinguishes_implementations(self):
+        """The probe flags a design difference (not a bug): Google
+        bundles closes, Quiche does not -- and probe violations carry a
+        minimized witness without failing the report."""
         from repro.experiments import learn_quic
 
         quiche = learn_quic("quiche").model
         google = learn_quic("google").model
-        quiche_probe = check_quic_properties(quiche, DESIGN_PROBES, depth=3)
-        google_probe = check_quic_properties(google, DESIGN_PROBES, depth=3)
-        assert quiche_probe[0].holds
-        assert not google_probe[0].holds
+        quiche_probe = check_properties(quiche, DESIGN_PROBES, depth=3)
+        google_probe = check_properties(google, DESIGN_PROBES, depth=3)
+        assert quiche_probe.verdict("single-packet-close").holds
+        google_verdict = google_probe.verdict("single-packet-close")
+        assert google_verdict.verdict == Verdict.VIOLATED
+        assert google_verdict.minimized
+        # Minimal repro: a ClientHello, then its duplicate drawing the
+        # multi-level bundled close.
+        assert len(google_verdict.witness) == 2
+        assert google_probe.ok  # a probe difference is not a failure

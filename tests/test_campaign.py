@@ -124,6 +124,77 @@ class TestArtifacts:
         assert report["num_states"] == result.report.num_states
 
 
+class TestPropertyVerdicts:
+    """Campaigns evaluate the spec's ``properties`` section and emit
+    ``properties.json`` verdict artifacts."""
+
+    def test_spec_without_section_skips_evaluation(self, tmp_path):
+        result = run_spec(ExperimentSpec(target="toy"), output_dir=tmp_path)
+        assert result.properties is None
+        assert not (Path(result.artifact_dir) / "properties.json").exists()
+
+    def test_properties_evaluated_and_written(self, tmp_path):
+        from repro.spec import PropertiesSpec
+
+        result = run_spec(
+            ExperimentSpec(
+                target="toy",
+                name="toy-props",
+                properties=PropertiesSpec(
+                    depth=4, formulas=["G (out == NIL)"]
+                ),
+            ),
+            output_dir=tmp_path,
+        )
+        assert result.ok
+        report = result.properties
+        assert report is not None
+        assert not report.ok  # the ad-hoc formula is violated
+        assert report.verdict("ack-is-ignored").holds
+        assert "properties 3/4 hold" in result.summary()
+        data = json.loads(
+            (Path(result.artifact_dir) / "properties.json").read_text()
+        )
+        assert data["target"] == "toy-props"
+        assert data["counts"]["violated"] == 1
+        violated = next(
+            v for v in data["verdicts"] if v["verdict"] == "violated"
+        )
+        assert violated["witness"]["inputs"] == ["SYN(?,?,0)"]
+
+    def test_oracle_kind_sees_the_runs_oracle_table(self):
+        from repro.campaign import Campaign
+        from repro.spec import PropertiesSpec
+
+        results = Campaign(
+            [
+                ExperimentSpec(
+                    target="http2", properties=PropertiesSpec(depth=2)
+                )
+            ]
+        ).run()
+        verdict = results[0].properties.verdict("stream-ids-monotonic")
+        assert verdict.holds  # ran (not skipped): the table was available
+
+    def test_property_failure_becomes_error_verdict_not_crash(self):
+        from repro.campaign import Campaign
+        from repro.spec import PropertiesSpec
+
+        results = Campaign(
+            [
+                ExperimentSpec(
+                    target="toy",
+                    properties=PropertiesSpec(formulas=["G (out ===== NIL)"]),
+                )
+            ]
+        ).run()
+        result = results[0]
+        assert result.ok  # the learning run itself succeeded
+        formula_verdict = result.properties.verdicts[-1]
+        assert formula_verdict.verdict == "error"
+        assert "parse error" in formula_verdict.detail
+
+
 class TestGridMatchesDirectCalls:
     """The acceptance criterion: campaign runs == direct Prognosis runs."""
 

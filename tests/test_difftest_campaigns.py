@@ -133,6 +133,24 @@ class TestHTTP2QuirkMatrix:
         assert diff.states_a == 5
         assert diff.states_b == 4
 
+    def test_member_property_suites_run_alongside_cross_replay(
+        self, http2_matrix
+    ):
+        """Each family member's registered suite produces verdicts: the
+        conformant server satisfies everything, the buggy one violates
+        ``rst-after-response-tolerated`` with a minimized witness."""
+        reports = {
+            run.spec.name: run.properties for run in http2_matrix.runs
+        }
+        assert reports["http2"] is not None and reports["http2"].ok
+        buggy = reports["http2-buggy"]
+        verdict = buggy.verdict("rst-after-response-tolerated")
+        assert verdict.violated
+        assert verdict.minimized
+        assert not buggy.ok
+        assert "http2-buggy properties:" in http2_matrix.render()
+        assert "1 members violate properties" in http2_matrix.summary()
+
 
 class TestTCPAblationMatrix:
     def test_challenge_ack_ablation_diverges(self):
@@ -147,3 +165,9 @@ class TestTCPAblationMatrix:
         diff = result.diffs[("tcp", "tcp-no-challenge-ack-limit")]
         assert diff.states_a == 6  # rate limiter adds a state
         assert diff.states_b == 5
+        # The TCP suite runs per member and pins the ablation to the
+        # named property (same finding, property-level evidence).
+        reports = {run.spec.name: run.properties for run in result.runs}
+        assert reports["tcp"].verdict("challenge-ack-rate-limited").holds
+        ablation = reports["tcp-no-challenge-ack-limit"]
+        assert ablation.verdict("challenge-ack-rate-limited").violated

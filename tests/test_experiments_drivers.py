@@ -29,6 +29,26 @@ class TestPaperConstants:
         assert expectation[1] == ("ACK(?,?,0)", "NIL")
 
 
+class TestPropertyDrivers:
+    def test_check_target_properties_toy(self):
+        from repro.experiments import check_target_properties
+
+        report = check_target_properties("toy", depth=4)
+        assert report.ok
+        assert report.verdict("ack-is-ignored").holds
+
+    def test_property_sweep_attaches_reports(self, tmp_path):
+        from repro.experiments import property_sweep
+
+        results = property_sweep(
+            ["toy"], depth=3, workers=2, output_dir=tmp_path
+        )
+        assert len(results) == 1
+        assert results[0].properties is not None
+        assert results[0].properties.ok
+        assert (tmp_path / "000-toy" / "properties.json").exists()
+
+
 class TestLocReport:
     def test_counts_are_positive_and_ordered(self):
         measured = loc_report()

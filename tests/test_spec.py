@@ -135,6 +135,77 @@ class TestExperimentSpecSerialization:
         assert a.sul_fingerprint() != c.sul_fingerprint()
 
 
+class TestPropertiesSpec:
+    def test_properties_section_round_trips_losslessly(self):
+        from repro.spec import PropertiesSpec
+
+        spec = ExperimentSpec(
+            target="toy",
+            properties=PropertiesSpec(
+                suite="toy",
+                depth=7,
+                formulas=["G (out != NIL)", "F (out == NIL)"],
+                include_probes=True,
+                minimize=False,
+            ),
+        )
+        round_tripped = ExperimentSpec.from_json(spec.to_json())
+        assert round_tripped == spec
+        assert round_tripped.to_json() == spec.to_json()
+
+    def test_absent_section_stays_none(self):
+        spec = ExperimentSpec.from_dict({"target": "toy"})
+        assert spec.properties is None
+        assert ExperimentSpec.from_json(spec.to_json()).properties is None
+
+    def test_section_accepted_as_mapping(self):
+        spec = ExperimentSpec.from_dict(
+            {"target": "toy", "properties": {"depth": 3}}
+        )
+        assert spec.properties.depth == 3
+        assert spec.properties.formulas == []
+        assert spec.properties.minimize is True
+
+    def test_unknown_properties_keys_rejected(self):
+        with pytest.raises(SpecError, match="dpeth"):
+            ExperimentSpec.from_dict(
+                {"target": "toy", "properties": {"dpeth": 3}}
+            )
+
+    def test_clone_deep_copies_the_section(self):
+        from repro.spec import PropertiesSpec
+
+        spec = ExperimentSpec(
+            target="toy", properties=PropertiesSpec(formulas=["G (out == NIL)"])
+        )
+        other = spec.clone(name="copy")
+        other.properties.formulas.append("F (out == NIL)")
+        assert spec.properties.formulas == ["G (out == NIL)"]
+
+    def test_clone_can_attach_a_section(self):
+        from repro.spec import PropertiesSpec
+
+        spec = ExperimentSpec(target="toy")
+        other = spec.clone(properties=PropertiesSpec(depth=2))
+        assert spec.properties is None
+        assert other.properties.depth == 2
+
+    def test_validate_checks_depth_and_suite(self):
+        from repro.spec import PropertiesSpec
+
+        with pytest.raises(SpecError, match="depth"):
+            ExperimentSpec(
+                target="toy", properties=PropertiesSpec(depth=0)
+            ).validate()
+        with pytest.raises(RegistryError):
+            ExperimentSpec(
+                target="toy", properties=PropertiesSpec(suite="no-such-suite")
+            ).validate()
+        ExperimentSpec(
+            target="toy", properties=PropertiesSpec(suite="tcp")
+        ).validate()
+
+
 class TestAssembly:
     def test_pipeline_layers_match_spec(self):
         spec = ExperimentSpec(
