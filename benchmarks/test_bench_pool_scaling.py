@@ -1,17 +1,34 @@
-"""S1 -- Scaling: pooled batch execution vs serial, and prefix collapse.
+"""S1 -- Scaling: executor backends vs serial, and prefix collapse.
 
-The batch-first pipeline's two levers, measured separately:
+The batch-first pipeline's levers, measured separately:
 
 * **SUL pooling** -- a latency-injected TCP adapter (0.3 ms per step,
   standing in for the network round-trips a real closed-box SUL pays)
-  learned serially vs on a 4-worker pool.  Learned models must be
-  identical; pooled wall-clock must beat serial.
+  learned serially vs on a 4-worker thread pool.  Learned models must be
+  identical; pooled wall-clock must beat serial; the ``i mod n`` sharding
+  must keep per-worker load balanced.
+* **Executor matrix** -- serial vs thread vs process backends on a
+  CPU-bound simulator SUL (where the GIL caps threads and only processes
+  scale) and on the real-boundary socket SUL (where threads scale fine,
+  because queries wait on the wire).  Every cell's model must equal
+  serial's; the wall-clocks and speedups land in the machine-readable
+  ``bench_executor_scaling.json`` artifact CI uploads.
 * **Prefix collapse** -- one W-method suite submitted through the cache
   planner with collapse on vs off: within-batch prefix-closure answers a
   measurable share of the suite without touching the SUL.
+
+``BENCH_EXECUTOR_SMALL=1`` shrinks the matrix work (CI smoke): the
+model-identity assertions still run but the timing assertions are
+skipped, because a loaded runner proves nothing about speedups.  Timing
+assertions also need >= 4 usable cores -- a 1-core box cannot exhibit
+process parallelism regardless of backend correctness.
+``BENCH_EXECUTOR_OUT`` overrides the artifact path.
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
 from conftest import report, run_once
 
@@ -21,9 +38,28 @@ from repro.framework import Prognosis
 from repro.learn.cache import CachedMembershipOracle
 from repro.learn.equivalence import WMethodEquivalenceOracle
 from repro.learn.teacher import SULMembershipOracle
+from repro.registry import RegistryFactory
+from repro.spec import ExperimentSpec
 
 STEP_LATENCY = 0.0003  # 0.3 ms per exchanged symbol
 POOL_WORKERS = 4
+SMALL = bool(os.environ.get("BENCH_EXECUTOR_SMALL"))
+#: CPU-bound speedup needs actual CPUs: a 1-core box cannot run worker
+#: processes in parallel no matter how correct the backend is, so the
+#: timing assertions (never the identity ones) are gated on core count.
+CORES = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+    os.cpu_count() or 1
+)
+ASSERT_TIMINGS = not SMALL and CORES >= POOL_WORKERS
+#: Iterations of pure-Python arithmetic per step: ~0.3-0.5 ms of work the
+#: GIL refuses to parallelize.  The small (CI smoke) variant keeps the
+#: same code path at a fraction of the cost.
+BUSY_LOOP = 300 if SMALL else 4000
+#: W-method extra states for the matrix learns (0 shrinks the suite ~7x).
+MATRIX_EXTRA_STATES = 0 if SMALL else 1
+ARTIFACT_PATH = Path(os.environ.get("BENCH_EXECUTOR_OUT", "bench_executor_scaling.json"))
+
+MATRIX_CELLS = (("serial", 1), ("thread", POOL_WORKERS), ("process", POOL_WORKERS))
 
 
 class LatentTCPSUL(TCPAdapterSUL):
@@ -34,29 +70,107 @@ class LatentTCPSUL(TCPAdapterSUL):
         return super()._step_impl(symbol)
 
 
-def _learn(workers: int):
+class BusyTCPSUL(TCPAdapterSUL):
+    """TCP adapter that *computes* per step: the CPU-bound scaling case.
+
+    Module-level (hence picklable) so the process backend can build it
+    inside its worker processes.
+    """
+
+    def _step_impl(self, symbol):
+        acc = 0
+        for i in range(BUSY_LOOP):
+            acc += i * i
+        return super()._step_impl(symbol)
+
+
+def _busy_sul():
+    return BusyTCPSUL(seed=3)
+
+
+def _latent_sul():
+    return LatentTCPSUL(seed=3)
+
+
+def _socket_sul_factory():
+    """The real-boundary SUL: the TCP simulator behind its own server
+    process, reached over the wire protocol.  A RegistryFactory so the
+    process backend can rebuild it in its children."""
+    return RegistryFactory(
+        "remote", {"target": "tcp", "seed": 3, "step_delay": STEP_LATENCY}
+    )
+
+
+def _learn_on(kind, workers, sul_factory, name):
     prognosis = Prognosis(
-        sul_factory=lambda: LatentTCPSUL(seed=3),
+        sul_factory=sul_factory,
         workers=workers,
-        name=f"tcp-w{workers}",
+        executor=kind,
+        extra_states=MATRIX_EXTRA_STATES,
+        name=name,
     )
     start = time.perf_counter()
     try:
         learning_report = prognosis.learn()
+        per_worker = prognosis.sul.per_worker_queries()
     finally:
         prognosis.close()
-    return learning_report, time.perf_counter() - start
+    return learning_report, time.perf_counter() - start, per_worker
+
+
+def _merge_artifact(section: str, data: dict) -> None:
+    """Merge one section into the scaling artifact (tests run in any order)."""
+    existing = (
+        json.loads(ARTIFACT_PATH.read_text()) if ARTIFACT_PATH.exists() else {}
+    )
+    existing[section] = data
+    existing["meta"] = {"workers": POOL_WORKERS, "cores": CORES, "small": SMALL}
+    ARTIFACT_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True))
+
+
+def _assert_balanced(per_worker):
+    """``i mod n`` sharding skews by at most one word per batch, so tiny
+    totals get absolute slack; real runs must stay within a tight ratio."""
+    assert min(per_worker) > 0
+    spread_ok = max(per_worker) - min(per_worker) <= 2
+    ratio_ok = max(per_worker) / min(per_worker) < 1.6
+    assert spread_ok or ratio_ok, f"unbalanced shards: {per_worker}"
+
+
+def _run_matrix(sul_factory, label):
+    serial_model = None
+    rows = {}
+    for kind, workers in MATRIX_CELLS:
+        learning_report, wall, per_worker = _learn_on(
+            kind, workers, sul_factory, name=label
+        )
+        if kind == "serial":
+            serial_model = learning_report.model
+            serial_wall = wall
+        rows[kind] = {
+            "workers": workers,
+            "wall_s": round(wall, 4),
+            "speedup_vs_serial": round(serial_wall / wall, 3),
+            "sul_queries": learning_report.sul_queries,
+            "states": learning_report.num_states,
+            "model_matches_serial": (
+                learning_report.model.to_dict() == serial_model.to_dict()
+            ),
+            "per_worker_queries": per_worker,
+        }
+    return rows
 
 
 def test_pool_scaling_vs_serial(benchmark):
     def run_both():
-        serial_report, serial_wall = _learn(workers=1)
-        pooled_report, pooled_wall = _learn(workers=POOL_WORKERS)
-        return serial_report, serial_wall, pooled_report, pooled_wall
+        serial = _learn_on("serial", 1, _latent_sul, "tcp")
+        pooled = _learn_on("thread", POOL_WORKERS, _latent_sul, "tcp")
+        return serial, pooled
 
-    serial_report, serial_wall, pooled_report, pooled_wall = run_once(
-        benchmark, run_both
-    )
+    (
+        (serial_report, serial_wall, _),
+        (pooled_report, pooled_wall, per_worker),
+    ) = run_once(benchmark, run_both)
     report(
         "S1 SUL pool scaling",
         [
@@ -65,14 +179,128 @@ def test_pool_scaling_vs_serial(benchmark):
             ("speedup", f"< {POOL_WORKERS}x", f"{serial_wall / pooled_wall:.2f}x"),
             ("serial SUL queries", "-", serial_report.sul_queries),
             ("pooled SUL queries", "same", pooled_report.sul_queries),
+            ("per-worker queries", "balanced", per_worker),
         ],
     )
     # Parallelism must not change what is learned ...
     assert serial_report.model.states == pooled_report.model.states
     assert serial_report.counterexamples == pooled_report.counterexamples
     assert serial_report.sul_queries == pooled_report.sul_queries
+    # ... nor skew the deterministic i mod n sharding: every worker gets
+    # its fair share (small batches pin to low workers, hence the slack).
+    assert sum(per_worker) == pooled_report.sul_queries
+    _assert_balanced(per_worker)
     # ... only how fast (generous margin: CI boxes are noisy).
     assert pooled_wall < serial_wall
+
+
+def test_executor_matrix_cpu_bound(benchmark):
+    """Serial vs thread vs process on a SUL that burns CPU per step.
+
+    The paper-level claim behind the process backend: pure-Python SUL
+    work is GIL-bound, so threads cannot scale it -- worker processes
+    can, while learning the exact same model.
+    """
+    rows = run_once(benchmark, _run_matrix, _busy_sul, "tcp")
+    report(
+        "S1 executor matrix (CPU-bound SUL)",
+        [
+            (
+                f"{kind} wall-clock (w={row['workers']})",
+                "-",
+                f"{row['wall_s']:.2f}s ({row['speedup_vs_serial']:.2f}x)",
+            )
+            for kind, row in rows.items()
+        ],
+    )
+    _merge_artifact("cpu_bound", rows)
+    for kind, row in rows.items():
+        assert row["model_matches_serial"], f"{kind} learned a different model"
+        assert row["sul_queries"] == rows["serial"]["sul_queries"]
+    _assert_balanced(rows["process"]["per_worker_queries"])
+    if ASSERT_TIMINGS:
+        assert rows["process"]["speedup_vs_serial"] > 2.0
+        assert rows["thread"]["speedup_vs_serial"] < 1.3
+
+
+def test_executor_matrix_socket_sul(benchmark):
+    """The same matrix across the real process/socket boundary.
+
+    Socket queries wait on the wire, so here the *thread* backend scales
+    too -- and the boundary must not change the learned model either.
+    """
+    rows = run_once(benchmark, _run_matrix, _socket_sul_factory(), "tcp")
+    report(
+        "S1 executor matrix (socket SUL)",
+        [
+            (
+                f"{kind} wall-clock (w={row['workers']})",
+                "-",
+                f"{row['wall_s']:.2f}s ({row['speedup_vs_serial']:.2f}x)",
+            )
+            for kind, row in rows.items()
+        ],
+    )
+    _merge_artifact("socket", rows)
+    for kind, row in rows.items():
+        assert row["model_matches_serial"], f"{kind} learned a different model"
+        assert row["sul_queries"] == rows["serial"]["sul_queries"]
+    if ASSERT_TIMINGS:
+        assert rows["thread"]["speedup_vs_serial"] > 1.5
+
+
+IDENTITY_TARGETS = ("tcp", "http2") if SMALL else ("tcp", "quic-google", "http2")
+
+
+def test_executor_model_identity_across_targets(benchmark):
+    """serial == thread == process model bytes on every paper target.
+
+    This is the acceptance gate: the executor is a scheduling decision,
+    and scheduling must never leak into what gets learned.
+    """
+    from repro.campaign import run_spec
+
+    def run_matrix():
+        out = {}
+        for target in IDENTITY_TARGETS:
+            models = {}
+            queries = {}
+            for kind, workers in MATRIX_CELLS:
+                spec = ExperimentSpec(
+                    target=target,
+                    seed=7,
+                    name=target,
+                    workers=workers,
+                    executor={"kind": kind, "workers": workers},
+                )
+                result = run_spec(spec)
+                assert result.ok, f"{target}/{kind}: {result.error}"
+                models[kind] = json.dumps(
+                    result.model.minimize().to_dict(), sort_keys=True
+                )
+                queries[kind] = result.report.sul_queries
+            out[target] = {
+                "identical": len(set(models.values())) == 1,
+                "states": result.model.minimize().num_states,
+                "sul_queries": queries,
+            }
+        return out
+
+    out = run_once(benchmark, run_matrix)
+    report(
+        "S1 executor model identity",
+        [
+            (
+                target,
+                "identical",
+                f"{'identical' if row['identical'] else 'DIVERGED'} "
+                f"({row['states']} states)",
+            )
+            for target, row in out.items()
+        ],
+    )
+    _merge_artifact("model_identity", out)
+    assert all(row["identical"] for row in out.values())
 
 
 def test_prefix_collapse_reduces_sul_queries(benchmark, tcp_full):

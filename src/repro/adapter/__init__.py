@@ -1,32 +1,61 @@
 """Adapter layer: SUL interface, pooling, packet queue, protocol adapters."""
 
+from .executor import (
+    BatchExecutor,
+    ExecutorBackend,
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    build_executor,
+)
 from .http2_adapter import (
     HTTP2AdapterSUL,
     abstract_frame,
     abstract_frames,
     frame_params,
 )
-from .pool import BatchExecutor, SULPool
+from .pool import SULPool
 from .queue import PacketQueue, QueuedPacket
 from .quic_adapter import QUICAdapterSUL, abstract_packet, abstract_response
+from .remote import (
+    RemoteDisconnectError,
+    RemoteProtocolError,
+    RemoteSULError,
+    SocketSUL,
+    SubprocessSUL,
+    SULTimeoutError,
+)
 from .sul import SUL, SULStats
 from .tcp_adapter import TCPAdapterSUL, abstract_segment, segment_params
 
 __all__ = [
     "BatchExecutor",
+    "ExecutorBackend",
+    "ExecutorError",
     "HTTP2AdapterSUL",
     "PacketQueue",
+    "ProcessExecutor",
     "QUICAdapterSUL",
     "QueuedPacket",
+    "RemoteDisconnectError",
+    "RemoteProtocolError",
+    "RemoteSULError",
+    "SerialExecutor",
+    "SocketSUL",
+    "SubprocessSUL",
     "SUL",
     "SULPool",
     "SULStats",
+    "SULTimeoutError",
     "TCPAdapterSUL",
+    "ThreadExecutor",
     "abstract_frame",
     "abstract_frames",
     "abstract_packet",
     "abstract_response",
     "abstract_segment",
+    "build_executor",
     "frame_params",
     "segment_params",
 ]

@@ -1,0 +1,207 @@
+"""Serve a registry SUL target over the length-prefixed socket protocol.
+
+Run as a module (``python -m repro.adapter.sul_server --target tcp``),
+this turns any in-process adapter into an *external implementation*: a
+separate process reachable only through the wire protocol documented in
+:mod:`repro.adapter.remote`.  It is the reference peer for
+:class:`~repro.adapter.remote.SocketSUL` /
+:class:`~repro.adapter.remote.SubprocessSUL` and the fault-injection
+rig the boundary tests drive.
+
+On startup the server binds (``--port 0`` picks a free port), prints
+``PROGNOSIS-SUL-SERVER port=N`` on stdout and serves each accepted
+connection on its own thread, so a client whose previous handler is
+wedged can reconnect and keep working.  A watcher thread exits the
+process as soon as stdin reaches EOF: when the parent that spawned us
+dies, we do too, never leaking an orphan.
+
+Fault flags (all count the steps served by one connection):
+
+* ``--step-delay S`` -- sleep S seconds per step (an I/O-bound SUL for
+  the executor benchmarks).
+* ``--hang-after-steps N`` -- after N steps, stop answering (client
+  timeout path).
+* ``--crash-after-steps N`` -- after N steps, die mid-word (client
+  disconnect/respawn path).
+* ``--garbage-after-steps N`` -- after N steps, answer one step with a
+  well-framed payload that is not JSON (client protocol-error path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import sys
+import threading
+import time
+
+from ..core.alphabet import deserialize_symbol, serialize_symbol
+from ..registry import SUL_REGISTRY, load_builtins, supported_kwargs
+from .remote import (
+    SERVER_BANNER,
+    RemoteDisconnectError,
+    RemoteProtocolError,
+    recv_frame,
+    send_frame,
+)
+from .sul import SUL
+
+
+class FaultPlan:
+    """When (if ever) this server misbehaves, per connection."""
+
+    def __init__(
+        self,
+        step_delay: float = 0.0,
+        hang_after_steps: int | None = None,
+        crash_after_steps: int | None = None,
+        garbage_after_steps: int | None = None,
+    ) -> None:
+        self.step_delay = step_delay
+        self.hang_after_steps = hang_after_steps
+        self.crash_after_steps = crash_after_steps
+        self.garbage_after_steps = garbage_after_steps
+
+
+def _serve_connection(conn: socket.socket, sul: SUL, faults: FaultPlan) -> None:
+    steps_served = 0
+    with conn:
+        while True:
+            try:
+                request = recv_frame(conn)
+            except RemoteDisconnectError:
+                return
+            except RemoteProtocolError as exc:
+                send_frame(conn, {"ok": False, "error": str(exc)})
+                return
+            op = request.get("op")
+            if op == "hello":
+                send_frame(
+                    conn,
+                    {
+                        "ok": True,
+                        "name": sul.name,
+                        "alphabet": [
+                            serialize_symbol(s)
+                            for s in sul.input_alphabet.symbols
+                        ],
+                    },
+                )
+            elif op == "reset":
+                sul.reset()
+                send_frame(conn, {"ok": True})
+            elif op == "step":
+                steps_served += 1
+                if (
+                    faults.crash_after_steps is not None
+                    and steps_served > faults.crash_after_steps
+                ):
+                    os._exit(13)  # die mid-word, reply never sent
+                if (
+                    faults.hang_after_steps is not None
+                    and steps_served > faults.hang_after_steps
+                ):
+                    time.sleep(3600)  # wedge this handler; client times out
+                    return
+                if faults.step_delay:
+                    time.sleep(faults.step_delay)
+                try:
+                    symbol = deserialize_symbol(request.get("symbol"))
+                    output, in_params, out_params = sul._step_impl(symbol)
+                except Exception as exc:  # surface adapter errors as replies
+                    send_frame(
+                        conn,
+                        {"ok": False, "error": f"{type(exc).__name__}: {exc}"},
+                    )
+                    continue
+                if (
+                    faults.garbage_after_steps is not None
+                    and steps_served > faults.garbage_after_steps
+                ):
+                    # Well-framed, newline-terminated -- and not JSON.
+                    body = b"\xfe\xfd!! not a protocol frame !!\n"
+                    conn.sendall(len(body).to_bytes(4, "big") + body)
+                    continue
+                send_frame(
+                    conn,
+                    {
+                        "ok": True,
+                        "output": serialize_symbol(output),
+                        "in_params": dict(in_params),
+                        "out_params": dict(out_params),
+                    },
+                )
+            elif op == "bye":
+                send_frame(conn, {"ok": True})
+                return
+            else:
+                send_frame(conn, {"ok": False, "error": f"unknown op {op!r}"})
+
+
+def _watch_parent() -> None:
+    """Exit when stdin hits EOF -- i.e. the spawning parent is gone."""
+    try:
+        sys.stdin.buffer.read()
+    except Exception:  # pragma: no cover - any stdin failure means "gone"
+        pass
+    os._exit(0)
+
+
+def serve(
+    target: str,
+    params: dict,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    faults: FaultPlan | None = None,
+) -> None:
+    """Build the target SUL and serve it until the parent disappears."""
+    load_builtins()
+    factory = SUL_REGISTRY.get(target)
+    sul = factory(**supported_kwargs(factory, params))
+    faults = faults or FaultPlan()
+
+    listener = socket.create_server((host, port))
+    actual_port = listener.getsockname()[1]
+    print(f"{SERVER_BANNER} port={actual_port}", flush=True)
+    threading.Thread(target=_watch_parent, daemon=True).start()
+
+    while True:
+        conn, _ = listener.accept()
+        threading.Thread(
+            target=_serve_connection, args=(conn, sul, faults), daemon=True
+        ).start()
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Serve a registry SUL target over the socket protocol."
+    )
+    parser.add_argument("--target", default="tcp", help="SUL registry key")
+    parser.add_argument(
+        "--params", default="{}", help="JSON object of factory params"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = pick free")
+    parser.add_argument("--step-delay", type=float, default=0.0)
+    parser.add_argument("--hang-after-steps", type=int, default=None)
+    parser.add_argument("--crash-after-steps", type=int, default=None)
+    parser.add_argument("--garbage-after-steps", type=int, default=None)
+    args = parser.parse_args(argv)
+    serve(
+        args.target,
+        json.loads(args.params),
+        host=args.host,
+        port=args.port,
+        faults=FaultPlan(
+            step_delay=args.step_delay,
+            hang_after_steps=args.hang_after_steps,
+            crash_after_steps=args.crash_after_steps,
+            garbage_after_steps=args.garbage_after_steps,
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

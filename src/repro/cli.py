@@ -93,12 +93,22 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1
 
 
+def _executor_spec(kind: str | None, timeout_s: float | None = None):
+    """An :class:`~repro.spec.ExecutorSpec` for CLI flags (or ``None``)."""
+    from .spec import ExecutorSpec
+
+    if kind is None:
+        return None
+    return ExecutorSpec(kind=kind, timeout_s=timeout_s)
+
+
 def _expand_member_specs(
     members: Sequence[str],
     learner: str = "ttt",
     seed: int = 0,
     sul_workers: int = 1,
     exact: bool = False,
+    executor: str | None = None,
 ) -> tuple[list, str | None]:
     """Expand families/targets/spec files into a list of experiment specs.
 
@@ -137,6 +147,7 @@ def _expand_member_specs(
                     seed=seed,
                     workers=sul_workers,
                     name=member,
+                    executor=_executor_spec(executor),
                 )
             )
             continue
@@ -148,6 +159,8 @@ def _expand_member_specs(
                 return None, f"cannot load spec {member}: {error}"
             if spec.name is None:
                 spec.name = path.stem
+            if executor is not None:  # the CLI flag overrides the file
+                spec.executor = _executor_spec(executor)
             specs.append(spec)
             continue
         known = ", ".join(sorted(set(families) | set(SUL_REGISTRY.names())))
@@ -276,6 +289,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as error:
         print(f"cannot load spec {args.spec}: {error}", file=sys.stderr)
         return 2
+    if args.executor is not None:  # the CLI flag overrides the file
+        spec.executor = _executor_spec(args.executor)
     try:
         spec.validate()
     except (SpecError, KeyError) as error:
@@ -297,10 +312,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"--seeds must be comma-separated integers, got {args.seeds!r}",
               file=sys.stderr)
         return 2
+    base = None
+    if args.executor is not None or args.sul_workers != 1:
+        from .spec import ExperimentSpec
+
+        base = ExperimentSpec(
+            target="toy",
+            workers=args.sul_workers,
+            executor=_executor_spec(args.executor),
+        )
     campaign = Campaign.grid(
         targets=args.target,
         learners=args.learner or ["ttt"],
         seeds=seeds or [0],
+        base=base,
         workers=args.workers,
         output_dir=args.out,
         share_cache=not args.no_share_cache,
@@ -324,6 +349,7 @@ def _cmd_difftest(args: argparse.Namespace) -> int:
         seed=args.seed,
         sul_workers=args.sul_workers,
         exact=args.exact,
+        executor=args.executor,
     )
     if error is not None:
         print(f"difftest: {error}", file=sys.stderr)
@@ -431,9 +457,18 @@ def build_parser() -> argparse.ArgumentParser:
     issues.add_argument("number", type=int, choices=(1, 2, 3, 4))
     issues.set_defaults(func=_cmd_issues)
 
+    executor_kwargs = dict(
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="SUL executor backend (overrides the spec's executor "
+        "section; process fans each run's query shards over worker "
+        "processes)",
+    )
+
     run = sub.add_parser("run", help="execute a JSON experiment spec")
     run.add_argument("spec", help="path to an ExperimentSpec JSON file")
     run.add_argument("--out", help="write artifacts under this directory")
+    run.add_argument("--executor", **executor_kwargs)
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser(
@@ -463,6 +498,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-share-cache",
         action="store_true",
         help="isolate each run's query cache",
+    )
+    sweep.add_argument("--executor", **executor_kwargs)
+    sweep.add_argument(
+        "--sul-workers",
+        type=int,
+        default=1,
+        help="SUL pool size within each run",
     )
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -515,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 when any off-diagonal pair diverges (CI gate)",
     )
+    difftest.add_argument("--executor", **executor_kwargs)
     difftest.set_defaults(func=_cmd_difftest)
 
     return parser

@@ -29,7 +29,7 @@ from .core.trace import Word
 from .learn.cache import CachedMembershipOracle, QueryCache
 from .learn.lstar import LearningResult
 from .learn.nondeterminism import MajorityVoteOracle, NondeterminismPolicy
-from .spec import ComponentSpec, ExperimentSpec, assemble
+from .spec import ComponentSpec, ExecutorSpec, ExperimentSpec, assemble
 from .synth.synthesizer import SynthesisResult, synthesize, synthesize_with_cegis
 
 LearnerKind = Literal["ttt", "lstar"]
@@ -119,7 +119,10 @@ class Prognosis:
       membership-query batches across a
       :class:`~repro.adapter.pool.SULPool` of N identical instances (the
       factory must build identically-seeded instances so pooled and serial
-      runs learn the same model);
+      runs learn the same model); ``executor`` picks the pool backend
+      (``"thread"`` default, ``"process"`` for CPU-bound SULs -- the
+      factory must then be picklable -- or ``"serial"``), ``timeout_s``
+      bounds one shard on supervised backends;
     * declarative -- :meth:`from_spec` resolves every component from the
       registries, which is what campaigns and the ``repro run`` CLI use.
 
@@ -143,6 +146,8 @@ class Prognosis:
         sul_factory: Callable[[], SUL] | None = None,
         batch_size: int = 64,
         *,
+        executor: str | None = None,
+        timeout_s: float | None = None,
         spec: ExperimentSpec | None = None,
         shared_cache: QueryCache | None = None,
     ) -> None:
@@ -159,9 +164,20 @@ class Prognosis:
                     raise ValueError(
                         "pass either a sul or a sul_factory, not both"
                     )
-                sul = SULPool(sul_factory, workers=workers, name=name)
+                sul = SULPool(
+                    sul_factory,
+                    workers=workers,
+                    name=name,
+                    backend=executor or "thread",
+                    timeout_s=timeout_s,
+                )
             elif sul is None:
                 raise ValueError("Prognosis needs a sul or a sul_factory")
+            elif executor is not None:
+                raise ValueError(
+                    "an executor backend needs a sul_factory "
+                    "(workers are built per thread/process)"
+                )
             elif workers > 1:
                 raise ValueError(
                     "workers > 1 needs a sul_factory (one SUL instance per worker)"
@@ -177,11 +193,13 @@ class Prognosis:
                 name=name,
                 workers=workers,
                 batch_size=batch_size,
+                executor=executor,
+                timeout_s=timeout_s,
             )
             pipeline = assemble(self.spec, sul=sul, shared_cache=shared_cache)
 
         self.sul = pipeline.sul
-        self.workers = self.spec.workers
+        self.workers = self.spec.effective_executor().workers
         self.name = self.spec.name or pipeline.sul.name
         self.base_oracle = pipeline.base_oracle
         self.oracle = pipeline.oracle
@@ -210,6 +228,8 @@ class Prognosis:
         name: str | None,
         workers: int,
         batch_size: int,
+        executor: str | None = None,
+        timeout_s: float | None = None,
     ) -> ExperimentSpec:
         """Translate the classic keyword knobs into spec component lists."""
         wmethod = ComponentSpec("wmethod", {"extra_states": extra_states})
@@ -243,6 +263,11 @@ class Prognosis:
             seed=seed,
             batch_size=batch_size,
             name=name,
+            executor=(
+                None
+                if executor is None
+                else ExecutorSpec(kind=executor, timeout_s=timeout_s)
+            ),
         )
 
     @classmethod

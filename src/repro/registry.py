@@ -130,6 +130,30 @@ MIDDLEWARE_REGISTRY: Registry = Registry("oracle middleware")
 PROPERTY_REGISTRY: Registry = Registry("property suite")
 
 
+class RegistryFactory:
+    """A picklable SUL factory: a registry key plus construction params.
+
+    ``lambda: factory(**params)`` closures cannot cross a process
+    boundary under the ``spawn`` start method, and several built-in
+    targets (the QUIC family) are themselves registered as closures.
+    This factory ships only ``(target, params)`` and resolves the
+    registry *inside* the worker process, so any registered target works
+    with the ``process`` executor backend.
+    """
+
+    def __init__(self, target: str, params: Mapping | None = None) -> None:
+        self.target = target
+        self.params = dict(params or {})
+
+    def __call__(self):
+        load_builtins()
+        factory = SUL_REGISTRY.get(self.target)
+        return factory(**self.params)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegistryFactory({self.target!r}, {self.params!r})"
+
+
 def register_properties(name: str) -> Callable:
     """Register a property-suite factory under ``name`` (decorator form).
 
@@ -205,7 +229,13 @@ def load_builtins() -> None:
     # Flag only flips once every import succeeded; a failed import leaves
     # it unset so the next call retries (and re-raises the real error)
     # instead of silently no-op'ing over half-populated registries.
-    from .adapter import http2_adapter, mealy_sul, tcp_adapter, quic_adapter  # noqa: F401
+    from .adapter import (  # noqa: F401
+        http2_adapter,
+        mealy_sul,
+        quic_adapter,
+        remote,
+        tcp_adapter,
+    )
     from .analysis import (  # noqa: F401
         http2_properties,
         quic_properties,

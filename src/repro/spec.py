@@ -21,6 +21,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from .adapter.executor import EXECUTOR_KINDS
 from .adapter.pool import SULPool
 from .adapter.sul import SUL
 from .learn.equivalence import ChainedEquivalenceOracle
@@ -30,6 +31,7 @@ from .registry import (
     LEARNER_REGISTRY,
     MIDDLEWARE_REGISTRY,
     SUL_REGISTRY,
+    RegistryFactory,
     load_builtins,
     supported_kwargs,
 )
@@ -135,6 +137,56 @@ class PropertiesSpec:
         return self
 
 
+_EXECUTOR_FIELDS = {"kind", "workers", "timeout_s"}
+
+
+@dataclass
+class ExecutorSpec:
+    """The declarative ``executor`` section of an experiment spec.
+
+    ``kind`` picks the :mod:`repro.adapter.executor` backend (``serial``,
+    ``thread`` or ``process``), ``workers`` overrides the spec-level
+    worker count (``None`` inherits it), and ``timeout_s`` bounds one
+    shard's execution on backends that supervise their workers (the
+    ``process`` pool and the remote-SUL boundary).  In dict/JSON form a
+    bare string is shorthand for a kind with inherited knobs
+    (``"process"`` == ``{"kind": "process"}``).
+
+    The executor deliberately does not contribute to
+    :meth:`ExperimentSpec.sul_fingerprint`: it changes how fast answers
+    arrive, never what they are.
+    """
+
+    kind: str = "thread"
+    workers: int | None = None
+    timeout_s: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "workers": self.workers,
+            "timeout_s": self.timeout_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: "ExecutorSpec | str | Mapping | None") -> "ExecutorSpec | None":
+        if data is None or isinstance(data, ExecutorSpec):
+            return data
+        if isinstance(data, str):
+            return cls(kind=data)
+        if not isinstance(data, Mapping):
+            raise SpecError(f"executor spec must be a mapping, got {data!r}")
+        unknown = set(data) - _EXECUTOR_FIELDS
+        if unknown:
+            raise SpecError(f"unknown executor spec keys: {sorted(unknown)}")
+        return cls(**dict(data))
+
+    def clone(self) -> "ExecutorSpec":
+        return ExecutorSpec(
+            kind=self.kind, workers=self.workers, timeout_s=self.timeout_s
+        )
+
+
 def default_equivalence() -> list[ComponentSpec]:
     """The default EQ chain: W-method with one extra state (paper setup)."""
     return [ComponentSpec("wmethod", {"extra_states": 1})]
@@ -157,6 +209,7 @@ _SPEC_FIELDS = {
     "batch_size",
     "name",
     "properties",
+    "executor",
 }
 
 
@@ -185,11 +238,13 @@ class ExperimentSpec:
     batch_size: int = 64
     name: str | None = None
     properties: PropertiesSpec | None = None
+    executor: ExecutorSpec | None = None
 
     def __post_init__(self) -> None:
         self.equivalence = [ComponentSpec.from_dict(e) for e in self.equivalence]
         self.middleware = [ComponentSpec.from_dict(m) for m in self.middleware]
         self.properties = PropertiesSpec.from_dict(self.properties)
+        self.executor = ExecutorSpec.from_dict(self.executor)
 
     # -- identity ----------------------------------------------------------
     def display_name(self) -> str:
@@ -202,13 +257,34 @@ class ExperimentSpec:
         Two specs with equal fingerprints query *the same* system (same
         target key, same construction params), so their membership-query
         caches are interchangeable -- the sharing key campaigns use.
-        Learner, equivalence chain and seed deliberately do not
-        contribute: they change which queries are asked, not the answers.
+        Learner, equivalence chain, seed and executor deliberately do
+        not contribute: they change which queries are asked or how they
+        are scheduled, not the answers.
         """
         return json.dumps(
             {"target": self.target, "params": self.target_params},
             sort_keys=True,
             default=str,
+        )
+
+    def effective_executor(self) -> ExecutorSpec:
+        """The fully-resolved executor this spec runs on.
+
+        With no ``executor`` section the historical behaviour is kept:
+        ``workers > 1`` means the thread pool, ``workers == 1`` a plain
+        serial SUL.  An explicit section picks the backend ``kind`` and
+        may override the worker count.
+        """
+        if self.executor is None:
+            kind = "thread" if self.workers > 1 else "serial"
+            return ExecutorSpec(kind=kind, workers=self.workers)
+        workers = (
+            self.workers if self.executor.workers is None else self.executor.workers
+        )
+        return ExecutorSpec(
+            kind=self.executor.kind,
+            workers=workers,
+            timeout_s=self.executor.timeout_s,
         )
 
     # -- serialization -----------------------------------------------------
@@ -226,6 +302,9 @@ class ExperimentSpec:
             "name": self.name,
             "properties": (
                 None if self.properties is None else self.properties.to_dict()
+            ),
+            "executor": (
+                None if self.executor is None else self.executor.to_dict()
             ),
         }
 
@@ -272,6 +351,9 @@ class ExperimentSpec:
             "properties": (
                 None if self.properties is None else self.properties.clone()
             ),
+            "executor": (
+                None if self.executor is None else self.executor.clone()
+            ),
         }
         unknown = set(overrides) - _SPEC_FIELDS
         if unknown:
@@ -289,6 +371,25 @@ class ExperimentSpec:
             raise SpecError(f"need a positive batch_size, got {self.batch_size}")
         if not self.equivalence:
             raise SpecError("spec needs at least one equivalence oracle")
+        executor = self.effective_executor()
+        if executor.kind not in EXECUTOR_KINDS:
+            raise SpecError(
+                f"unknown executor kind {executor.kind!r}; "
+                f"known: {', '.join(EXECUTOR_KINDS)}"
+            )
+        if executor.workers < 1:
+            raise SpecError(
+                f"need at least one executor worker, got {executor.workers}"
+            )
+        if executor.kind == "serial" and executor.workers > 1:
+            raise SpecError(
+                "the serial executor runs one worker; "
+                f"got workers={executor.workers} (use thread or process)"
+            )
+        if executor.timeout_s is not None and executor.timeout_s <= 0:
+            raise SpecError(
+                f"need a positive executor timeout_s, got {executor.timeout_s}"
+            )
         if self.properties is not None:
             self.properties.validate()
         for registry, keys in (
@@ -319,13 +420,29 @@ class AssembledPipeline:
 
 
 def build_sul(spec: ExperimentSpec) -> SUL:
-    """Instantiate the spec's SUL target (a pool when ``workers > 1``)."""
+    """Instantiate the spec's SUL target on its effective executor.
+
+    ``process`` always builds a pool (the workers live in child
+    processes, even for ``workers == 1``) and uses a picklable
+    :class:`~repro.registry.RegistryFactory` so closure-registered
+    targets work too; ``thread`` pools when ``workers > 1``; anything
+    else is a plain in-process SUL.
+    """
     load_builtins()
     factory = SUL_REGISTRY.get(spec.target)
-    if spec.workers > 1:
+    executor = spec.effective_executor()
+    if executor.kind == "process":
+        return SULPool(
+            RegistryFactory(spec.target, spec.target_params),
+            workers=executor.workers,
+            name=spec.name,
+            backend="process",
+            timeout_s=executor.timeout_s,
+        )
+    if executor.workers > 1:
         return SULPool(
             lambda: factory(**spec.target_params),
-            workers=spec.workers,
+            workers=executor.workers,
             name=spec.name,
         )
     return factory(**spec.target_params)

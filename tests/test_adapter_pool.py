@@ -11,6 +11,11 @@ def _pool_for(machine, workers):
     return SULPool(lambda: MealySUL(machine), workers=workers)
 
 
+@pytest.fixture(params=["serial", "thread", "process"])
+def any_backend(request):
+    return request.param
+
+
 class TestBatchExecutor:
     def test_preserves_order(self):
         executor = BatchExecutor(workers=4)
@@ -111,4 +116,85 @@ class TestSULPool:
         words = [(syn,), (syn, ack)]
         assert oracle.query_batch(words) == [toy_machine.run(w) for w in words]
         assert oracle.stats.queries == 2
+        pool.close()
+
+
+class TestSULPoolBackends:
+    """Every executor backend answers and accounts like a single SUL.
+
+    The toy-machine factory is a closure: fine for serial/thread, and for
+    ``process`` it exercises the documented fork-start-method guarantee
+    (Process args are inherited, not pickled).
+    """
+
+    def _pool(self, machine, backend, workers=4):
+        pool = SULPool(
+            lambda: MealySUL(machine), workers=workers, backend=backend
+        )
+        assert pool.backend == backend
+        return pool
+
+    def test_matches_single_sul(self, toy_machine, ab_alphabet, any_backend):
+        syn, ack = ab_alphabet.symbols
+        words = [(syn,), (syn, ack), (ack, syn, syn), (syn, ack, ack)]
+        single = MealySUL(toy_machine)
+        pool = self._pool(toy_machine, any_backend)
+        assert pool.query_batch(words) == [single.query(w) for w in words]
+        pool.close()
+
+    def test_stats_and_load_balance(self, toy_machine, ab_alphabet, any_backend):
+        syn, ack = ab_alphabet.symbols
+        pool = self._pool(toy_machine, any_backend)
+        pool.query_batch([(syn, ack)] * 8)
+        assert pool.stats.queries == 8
+        assert pool.stats.resets == 8
+        assert pool.stats.steps == 16
+        # word i -> worker i mod n, so a balanced batch loads all equally
+        assert pool.per_worker_queries() == [2, 2, 2, 2]
+        pool.close()
+
+    def test_oracle_tables_are_merged(self, toy_machine, ab_alphabet, any_backend):
+        syn, ack = ab_alphabet.symbols
+        words = [(syn,), (syn, ack), (ack, ack)]
+        pool = self._pool(toy_machine, any_backend, workers=2)
+        pool.query_batch(words)
+        for word in words:
+            entry = pool.oracle_table.lookup(word)
+            assert entry is not None
+            assert entry.abstract.outputs == toy_machine.run(word)
+        pool.close()
+
+    def test_repeated_batches_stay_aligned(
+        self, toy_machine, ab_alphabet, any_backend
+    ):
+        syn, ack = ab_alphabet.symbols
+        words = [(syn,) * n + (ack,) for n in range(12)]
+        pool = self._pool(toy_machine, any_backend)
+        expected = [toy_machine.run(w) for w in words]
+        for _ in range(3):
+            assert pool.query_batch(words) == expected
+        pool.close()
+
+    def test_step_interface_runs_on_the_parent(
+        self, toy_machine, ab_alphabet, any_backend
+    ):
+        syn, ack = ab_alphabet.symbols
+        pool = self._pool(toy_machine, any_backend, workers=2)
+        pool.reset()
+        outputs = [pool.step(syn), pool.step(ack)]
+        assert tuple(outputs) == toy_machine.run((syn, ack))
+        assert pool.stats.steps == 2
+        pool.close()
+
+    def test_process_parent_and_worker_stats_accumulate(
+        self, toy_machine, ab_alphabet
+    ):
+        syn, ack = ab_alphabet.symbols
+        pool = self._pool(toy_machine, "process", workers=2)
+        pool.query_batch([(syn,), (ack,)])
+        pool.reset()
+        pool.step(syn)
+        assert pool.stats.queries == 2
+        assert pool.stats.resets == 3  # 2 shipped from workers + 1 parent
+        assert pool.stats.steps == 3
         pool.close()

@@ -47,6 +47,19 @@ class TestParser:
         assert args.target == ["toy", "tcp"]
         assert args.learner == ["lstar"]
 
+    def test_executor_flag_parsed_everywhere(self):
+        for argv in (
+            ["run", "spec.json", "--executor", "process"],
+            ["sweep", "--target", "toy", "--executor", "thread"],
+            ["difftest", "toy", "--executor", "serial"],
+        ):
+            args = build_parser().parse_args(argv)
+            assert args.executor == argv[-1]
+
+    def test_executor_flag_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "spec.json", "--executor", "gpu"])
+
 
 class TestCommands:
     def test_learn_tcp_prints_summary(self, capsys, tmp_path):
@@ -111,6 +124,19 @@ class TestRunCommand:
         produced = list(out_dir.iterdir())
         assert len(produced) == 1
         assert (produced[0] / "model.json").exists()
+
+    def test_run_with_process_executor(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"target": "toy", "workers": 2}))
+        code = main(["run", str(spec_path), "--executor", "process"])
+        assert code == 0
+        assert "3 states" in capsys.readouterr().out
+
+    def test_run_rejects_bad_executor_combination(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"target": "toy", "workers": 4}))
+        assert main(["run", str(spec_path), "--executor", "serial"]) == 2
+        assert "serial executor" in capsys.readouterr().err
 
     def test_run_missing_file(self, capsys, tmp_path):
         assert main(["run", str(tmp_path / "absent.json")]) == 2

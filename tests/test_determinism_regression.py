@@ -31,26 +31,48 @@ def suites_of(model) -> dict[str, list]:
     }
 
 
+@pytest.mark.parametrize(
+    "workers,executor",
+    [(1, None), (4, None), (4, "process")],
+    ids=["serial", "pooled", "process"],
+)
 @pytest.mark.parametrize("target", ["toy", "tcp-handshake"])
-@pytest.mark.parametrize("workers", [1, 4], ids=["serial", "pooled"])
-def test_same_spec_same_seed_is_byte_identical(target, workers):
-    spec = ExperimentSpec(target=target, seed=7, workers=workers, name=target)
+def test_same_spec_same_seed_is_byte_identical(target, workers, executor):
+    spec = ExperimentSpec(
+        target=target, seed=7, workers=workers, name=target, executor=executor
+    )
     first_json, first_model = learn_model_json(spec)
     second_json, second_model = learn_model_json(spec.clone())
     assert first_json == second_json
     assert suites_of(first_model) == suites_of(second_model)
 
 
+@pytest.mark.parametrize("backend", ["thread", "process"])
 @pytest.mark.parametrize("target", ["toy", "tcp-handshake"])
-def test_pooled_matches_serial_bytes(target):
+def test_pooled_matches_serial_bytes(target, backend):
     serial_json, serial_model = learn_model_json(
         ExperimentSpec(target=target, seed=7, workers=1, name=target)
     )
     pooled_json, pooled_model = learn_model_json(
-        ExperimentSpec(target=target, seed=7, workers=4, name=target)
+        ExperimentSpec(
+            target=target, seed=7, workers=4, name=target, executor=backend
+        )
     )
     assert serial_json == pooled_json
     assert suites_of(serial_model) == suites_of(pooled_model)
+
+
+def test_socket_sul_is_byte_identical_and_matches_local():
+    """The real process/socket boundary changes nothing the learner sees:
+    two remote runs are byte-identical, and equal to the in-process run."""
+    spec = ExperimentSpec(target="remote-tcp", seed=7, name="tcp")
+    first_json, first_model = learn_model_json(spec)
+    second_json, _ = learn_model_json(spec.clone())
+    local_json, local_model = learn_model_json(
+        ExperimentSpec(target="tcp", seed=7, name="tcp")
+    )
+    assert first_json == second_json == local_json
+    assert suites_of(first_model) == suites_of(local_model)
 
 
 def test_random_suite_seed_changes_bytes():

@@ -206,6 +206,101 @@ class TestPropertiesSpec:
         ).validate()
 
 
+class TestExecutorSpec:
+    def test_round_trips_losslessly(self):
+        from repro.spec import ExecutorSpec
+
+        spec = ExperimentSpec(
+            target="toy",
+            executor=ExecutorSpec(kind="process", workers=4, timeout_s=30.0),
+        )
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.executor.kind == "process"
+        assert restored.executor.timeout_s == 30.0
+
+    def test_string_shorthand(self):
+        spec = ExperimentSpec(target="toy", executor="process")
+        assert spec.executor.kind == "process"
+        assert spec.executor.workers is None
+
+    def test_absent_section_stays_none_and_serializes(self):
+        spec = ExperimentSpec(target="toy")
+        assert spec.executor is None
+        assert spec.to_dict()["executor"] is None
+        assert ExperimentSpec.from_dict(spec.to_dict()).executor is None
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SpecError, match="unknown executor spec keys"):
+            ExperimentSpec(target="toy", executor={"kind": "thread", "gpu": 1})
+
+    def test_effective_executor_defaults(self):
+        # no section: historical behaviour -- workers decide the backend
+        assert ExperimentSpec(target="toy").effective_executor().kind == "serial"
+        pooled = ExperimentSpec(target="toy", workers=4).effective_executor()
+        assert (pooled.kind, pooled.workers) == ("thread", 4)
+
+    def test_effective_executor_overrides_workers(self):
+        spec = ExperimentSpec(
+            target="toy", workers=2, executor={"kind": "process", "workers": 6}
+        )
+        assert spec.effective_executor().workers == 6
+        inherit = ExperimentSpec(target="toy", workers=2, executor="process")
+        assert inherit.effective_executor().workers == 2
+
+    def test_validate_rejects_bad_executors(self):
+        for bad in (
+            {"executor": "gpu"},
+            {"executor": "serial", "workers": 4},
+            {"executor": {"kind": "process", "workers": 0}},
+            {"executor": {"kind": "process", "timeout_s": -1.0}},
+        ):
+            workers = bad.pop("workers", 1)
+            with pytest.raises(SpecError):
+                ExperimentSpec(target="toy", workers=workers, **bad).validate()
+
+    def test_fingerprint_ignores_executor(self):
+        plain = ExperimentSpec(target="toy")
+        parallel = ExperimentSpec(
+            target="toy", workers=8, executor={"kind": "process"}
+        )
+        assert plain.sul_fingerprint() == parallel.sul_fingerprint()
+
+    def test_clone_deep_copies_the_section(self):
+        spec = ExperimentSpec(target="toy", executor={"kind": "process"})
+        copy = spec.clone()
+        copy.executor.kind = "thread"
+        assert spec.executor.kind == "process"
+
+    def test_build_sul_process_backend(self):
+        from repro.adapter.pool import SULPool
+
+        sul = build_sul(
+            ExperimentSpec(
+                target="toy",
+                executor={"kind": "process", "workers": 2, "timeout_s": 60.0},
+            )
+        )
+        try:
+            assert isinstance(sul, SULPool)
+            assert sul.backend == "process"
+            assert sul.workers == 2
+        finally:
+            sul.close()
+
+    def test_facade_process_backend_learns_identically(self, toy_machine):
+        with Prognosis.from_spec(ExperimentSpec(target="toy", name="toy")) as serial:
+            serial_report = serial.learn()
+        spec = ExperimentSpec(
+            target="toy", name="toy", executor={"kind": "process", "workers": 2}
+        )
+        with Prognosis.from_spec(spec) as pooled:
+            pooled_report = pooled.learn()
+            assert pooled.workers == 2
+        assert pooled_report.model.to_dict() == serial_report.model.to_dict()
+        assert pooled_report.sul_queries == serial_report.sul_queries
+
+
 class TestAssembly:
     def test_pipeline_layers_match_spec(self):
         spec = ExperimentSpec(
