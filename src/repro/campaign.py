@@ -145,7 +145,10 @@ class Campaign:
     ``workers`` bounds how many *runs* execute at once (each run may
     additionally pool its own SUL instances via ``spec.workers``).
     ``share_cache=False`` isolates every run -- the ablation switch the
-    cache-sharing benchmark flips.  Specs may be given as
+    cache-sharing benchmark flips.  ``store`` points every spec that does
+    not already carry a ``store`` section at one persistent
+    :class:`~repro.store.query_store.QueryStore` file, so runs warm-start
+    from (and append to) it per SUL fingerprint.  Specs may be given as
     :class:`~repro.spec.ExperimentSpec` instances or plain dicts.
     """
 
@@ -156,11 +159,17 @@ class Campaign:
         workers: int = 1,
         output_dir: str | Path | None = None,
         share_cache: bool = True,
+        store: str | Path | None = None,
     ) -> None:
         self.specs = [
             spec if isinstance(spec, ExperimentSpec) else ExperimentSpec.from_dict(spec)
             for spec in specs
         ]
+        if store is not None:
+            self.specs = [
+                spec if spec.store is not None else spec.clone(store=str(store))
+                for spec in self.specs
+            ]
         if workers < 1:
             raise ValueError(f"need at least one campaign worker, got {workers}")
         self.workers = workers
@@ -241,7 +250,7 @@ class Campaign:
             spec.validate()
             shared = None
             if self.share_cache and any(
-                m.kind == "cache" for m in spec.middleware
+                m.kind in ("cache", "store") for m in spec.middleware
             ):
                 shared = self._warm_cache(spec.sul_fingerprint())
             properties_report = None
@@ -256,6 +265,18 @@ class Campaign:
                 if shared is not None and prognosis.cache_oracle is not None:
                     self._absorb_cache(
                         spec.sul_fingerprint(), prognosis.cache_oracle.cache
+                    )
+            if spec.store is not None:
+                # Store-backed runs also record their model lineage, so
+                # a later `repro ci` has a baseline to diff against.
+                from .store.model_store import ModelStore
+
+                with ModelStore(spec.store.path) as models:
+                    models.save(
+                        spec.sul_fingerprint(),
+                        report.model,
+                        spec=spec.to_dict(),
+                        stats=report.to_dict(),
                     )
         except Exception as error:  # a failed run must not sink the campaign
             return RunResult(
@@ -300,9 +321,12 @@ class Campaign:
 def run_spec(
     spec: ExperimentSpec | Mapping,
     output_dir: str | Path | None = None,
+    store: str | Path | None = None,
 ) -> RunResult:
     """Execute a single spec (the ``repro run`` CLI entry point)."""
-    return Campaign([spec], output_dir=output_dir, share_cache=False).run()[0]
+    return Campaign(
+        [spec], output_dir=output_dir, share_cache=False, store=store
+    ).run()[0]
 
 
 # ---------------------------------------------------------------------------
@@ -381,6 +405,7 @@ class DiffCampaign:
         extra_states: int = 0,
         num_random: int = 100,
         max_length: int = 10,
+        store: str | Path | None = None,
     ) -> None:
         self.specs = [
             spec if isinstance(spec, ExperimentSpec) else ExperimentSpec.from_dict(spec)
@@ -405,6 +430,7 @@ class DiffCampaign:
         self.extra_states = extra_states
         self.num_random = num_random
         self.max_length = max_length
+        self.store = store
 
     # ------------------------------------------------------------------
     @classmethod
@@ -467,6 +493,7 @@ class DiffCampaign:
                 self.output_dir / "runs" if self.output_dir is not None else None
             ),
             share_cache=self.share_cache,
+            store=self.store,
         )
         runs = campaign.run()
         names = [spec.display_name() for spec in self.specs]

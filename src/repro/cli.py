@@ -15,6 +15,14 @@ Gives the framework the shape of a releasable tool:
 * ``difftest``   -- differential conformance campaign over a target family:
   learn every implementation, cross-replay every model-derived suite,
   print the N x N verdict matrix with minimized witnesses
+* ``ci``         -- incremental model CI: revalidate each target's stored
+  model against the live SUL through the persistent query store, exit
+  nonzero (with a minimized diff witness) on behavioural drift
+* ``store``      -- inspect (``--stats``) or garbage-collect (``--gc``)
+  a persistent query/model store file
+
+``run``, ``sweep`` and ``difftest`` accept ``--store PATH`` to read and
+persist membership observations (and model lineage) across invocations.
 
 Target and learner choices come from the :mod:`repro.registry`
 registries, so protocols registered by plug-ins appear automatically.
@@ -296,7 +304,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except (SpecError, KeyError) as error:
         print(f"invalid spec: {error}", file=sys.stderr)
         return 2
-    result = run_spec(spec, output_dir=args.out)
+    result = run_spec(spec, output_dir=args.out, store=args.store)
     print(result.summary())
     if result.artifact_dir:
         print(f"artifacts: {result.artifact_dir}")
@@ -329,6 +337,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         output_dir=args.out,
         share_cache=not args.no_share_cache,
+        store=args.store,
     )
     results = campaign.run()
     for result in results:
@@ -361,6 +370,7 @@ def _cmd_difftest(args: argparse.Namespace) -> int:
             workers=args.workers,
             output_dir=args.out,
             max_divergences=args.max_divergences,
+            store=args.store,
         )
         result = campaign.run()
     except (SpecError, KeyError) as error:
@@ -378,6 +388,103 @@ def _cmd_difftest(args: argparse.Namespace) -> int:
         return 1
     if args.fail_on_diverge and result.matrix.divergent_pairs():
         return 1
+    return 0
+
+
+def _cmd_ci(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .campaign import _safe_name
+    from .store import incremental_learn
+
+    specs, error = _expand_member_specs(
+        args.targets, learner=args.learner, seed=args.seed, exact=args.exact
+    )
+    if error is not None:
+        print(f"ci: {error}", file=sys.stderr)
+        return 2
+    out = Path(args.out) if args.out else None
+    drifted = failed = False
+    for spec in specs:
+        try:
+            result = incremental_learn(
+                spec,
+                args.store,
+                baseline=args.baseline,
+                save=not args.no_save,
+            )
+        except Exception as error:
+            print(
+                f"{spec.display_name()}: FAILED "
+                f"({type(error).__name__}: {error})",
+                file=sys.stderr,
+            )
+            failed = True
+            continue
+        print(result.summary())
+        if result.drifted and result.diff is not None:
+            print(result.diff.render())
+        if out is not None:
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"ci-{_safe_name(spec.display_name())}.json").write_text(
+                json.dumps(result.to_dict(), indent=2) + "\n"
+            )
+        drifted = drifted or result.drifted
+    if failed:
+        return 2
+    return 1 if drifted else 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .spec import ExperimentSpec
+    from .store import FingerprintStats, ModelStore, QueryStore
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"no store at {args.path}", file=sys.stderr)
+        return 2
+    if args.gc is not None:
+        load_builtins()
+        fingerprint = args.gc
+        if fingerprint in SUL_REGISTRY:
+            # A target name resolves to its default-params fingerprint.
+            fingerprint = ExperimentSpec(target=fingerprint).sul_fingerprint()
+        with QueryStore(path) as store:
+            observations = store.gc(fingerprint)
+        with ModelStore(path) as models:
+            dropped = models.gc(fingerprint)
+        print(
+            f"gc {fingerprint}: removed {observations} observations, "
+            f"{dropped} models"
+        )
+        return 0
+    with QueryStore(path) as store, ModelStore(path) as models:
+        fingerprints = sorted(
+            set(store.fingerprints()) | set(models.fingerprints())
+        )
+        if not fingerprints:
+            print(f"{args.path}: empty store")
+            return 0
+        print(f"{args.path}: {len(fingerprints)} fingerprints")
+        for fingerprint in fingerprints:
+            hits, misses = store.usage(fingerprint)
+            stats = FingerprintStats(
+                fingerprint=fingerprint,
+                observations=store.word_count(fingerprint),
+                models=models.version_count(fingerprint),
+                hits=hits,
+                misses=misses,
+            )
+            print(fingerprint)
+            print(
+                f"  observations: {stats.observations}  "
+                f"models: {stats.models}  "
+                f"recorded hit rate: {stats.hit_rate:.0%} "
+                f"({stats.hits} hits / {stats.misses} misses)"
+            )
     return 0
 
 
@@ -465,10 +572,19 @@ def build_parser() -> argparse.ArgumentParser:
         "processes)",
     )
 
+    store_kwargs = dict(
+        default=None,
+        metavar="PATH",
+        help="persistent sqlite query/model store: warm-start membership "
+        "queries from it and append fresh observations (specs with "
+        "their own store section keep it)",
+    )
+
     run = sub.add_parser("run", help="execute a JSON experiment spec")
     run.add_argument("spec", help="path to an ExperimentSpec JSON file")
     run.add_argument("--out", help="write artifacts under this directory")
     run.add_argument("--executor", **executor_kwargs)
+    run.add_argument("--store", **store_kwargs)
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser(
@@ -500,6 +616,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="isolate each run's query cache",
     )
     sweep.add_argument("--executor", **executor_kwargs)
+    sweep.add_argument("--store", **store_kwargs)
     sweep.add_argument(
         "--sul-workers",
         type=int,
@@ -558,7 +675,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 when any off-diagonal pair diverges (CI gate)",
     )
     difftest.add_argument("--executor", **executor_kwargs)
+    difftest.add_argument("--store", **store_kwargs)
     difftest.set_defaults(func=_cmd_difftest)
+
+    ci = sub.add_parser(
+        "ci",
+        help="incremental model CI: revalidate each target's stored model "
+        "against the live SUL through the persistent store; exit 1 (with "
+        "a minimized diff witness) on behavioural drift",
+    )
+    ci.add_argument(
+        "targets",
+        nargs="+",
+        metavar="target|family|spec.json",
+        help="a registered target, a family (e.g. 'quic'), or an "
+        "ExperimentSpec JSON file (mixable)",
+    )
+    ci.add_argument(
+        "--store",
+        required=True,
+        metavar="PATH",
+        help="sqlite store file holding the observations and model lineage",
+    )
+    ci.add_argument(
+        "--baseline",
+        metavar="TARGET",
+        help="diff against this target's stored model lineage instead of "
+        "each spec's own (cross-variant drift checks)",
+    )
+    ci.add_argument("--learner", choices=learners, default="ttt")
+    ci.add_argument("--seed", type=int, default=0)
+    ci.add_argument(
+        "--exact",
+        action="store_true",
+        help="treat every name as an exact target; never expand families",
+    )
+    ci.add_argument(
+        "--no-save",
+        action="store_true",
+        help="do not append changed models to the store's lineage",
+    )
+    ci.add_argument(
+        "--out", help="write ci-<name>.json artifacts under this directory"
+    )
+    ci.set_defaults(func=_cmd_ci)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect (--stats, the default) or garbage-collect (--gc) a "
+        "persistent query/model store",
+    )
+    store.add_argument("path", help="sqlite store file")
+    store.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-fingerprint statistics (the default action)",
+    )
+    store.add_argument(
+        "--gc",
+        metavar="FINGERPRINT|TARGET",
+        help="drop every observation and model for this fingerprint (a "
+        "registered target name resolves to its default-params "
+        "fingerprint)",
+    )
+    store.set_defaults(func=_cmd_store)
 
     return parser
 

@@ -59,6 +59,11 @@ class LearningReport:
     batch_deduped: int = 0
     #: SUL instances the run executed on (1 = serial).
     workers: int = 1
+    #: Membership queries answered by observations already in the
+    #: persistent query store when the run began (0 without a store).
+    store_hits: int = 0
+    #: ``store_hits`` over all membership queries.
+    store_hit_rate: float = 0.0
     #: Per-equivalence-oracle accounting: words submitted and
     #: counterexamples found, keyed by oracle name.
     eq_attribution: dict[str, dict[str, int]] = field(default_factory=dict)
@@ -103,6 +108,8 @@ class LearningReport:
             "prefix_collapsed": self.prefix_collapsed,
             "batch_deduped": self.batch_deduped,
             "workers": self.workers,
+            "store_hits": self.store_hits,
+            "store_hit_rate": self.store_hit_rate,
             "eq_attribution": {
                 name: dict(stats) for name, stats in self.eq_attribution.items()
             },
@@ -313,6 +320,8 @@ class Prognosis:
                 else 0
             ),
             workers=self.workers,
+            store_hits=getattr(self.cache_oracle, "store_hits", 0),
+            store_hit_rate=getattr(self.cache_oracle, "store_hit_rate", 0.0),
             eq_attribution=self.equivalence_oracle.attribution(),
         )
 
@@ -321,10 +330,15 @@ class Prognosis:
         """Release the SUL's resources (pool threads, simulated sockets).
 
         Safe to call on any SUL; a no-op when the SUL has no ``close``.
-        Long-running sweeps constructing many pooled ``Prognosis`` objects
-        should use the context-manager protocol (or call this) after each
-        run.
+        Middleware layers close too -- the store-backed cache flushes its
+        append buffer and records usage here.  Long-running sweeps
+        constructing many pooled ``Prognosis`` objects should use the
+        context-manager protocol (or call this) after each run.
         """
+        for layer in self.middleware:
+            layer_close = getattr(layer, "close", None)
+            if callable(layer_close):
+                layer_close()
         close = getattr(self.sul, "close", None)
         if callable(close):
             close()

@@ -132,14 +132,36 @@ class QueryCache:
             for symbol, (output, child) in node.children.items():
                 stack.append((child, word + (symbol,), outputs + (output,)))
 
+    def check_consistent(
+        self, word: Sequence[AbstractSymbol], outputs: Sequence[AbstractSymbol]
+    ) -> None:
+        """Raise :class:`CacheInconsistencyError` if the observation
+        conflicts with the trie.  Never mutates; a missing path is fine
+        (only *disagreeing* outputs along a shared prefix are conflicts).
+        """
+        node = self._root
+        for symbol, output in zip(word, outputs):
+            slot = node.children.get(symbol)
+            if slot is None:
+                return
+            cached_output, node = slot
+            if cached_output != output:
+                raise CacheInconsistencyError(tuple(word), cached_output, output)
+
     def merge_from(self, other: "QueryCache") -> None:
         """Absorb every observation stored in ``other``.
 
         Raises :class:`CacheInconsistencyError` if the two tries disagree
         on any output -- merging observations of *different* SULs is a
-        caller bug (or genuine nondeterminism).
+        caller bug (or genuine nondeterminism).  The merge is atomic:
+        every observation is checked against this trie before any is
+        inserted, so a failed merge leaves the destination untouched
+        instead of half-poisoned.
         """
-        for word, outputs in other.dump():
+        observations = list(other.dump())
+        for word, outputs in observations:
+            self.check_consistent(word, outputs)
+        for word, outputs in observations:
             self.insert(word, outputs)
 
 
@@ -192,15 +214,25 @@ class CachedMembershipOracle:
         self.batch_deduped = 0
         self.prefix_collapsed = 0
 
+    def _note_hits(self, word: Word, count: int = 1) -> None:
+        """Hit accounting hook (:class:`~repro.store.middleware
+        .StoreBackedCache` overrides it to attribute store-served hits)."""
+        self.hits += count
+
+    def _record(self, word: Word, outputs: Word) -> None:
+        """Fresh-observation hook; the store middleware also persists."""
+        self.cache.insert(word, outputs)
+
     def query(self, word: Sequence[AbstractSymbol]) -> Word:
+        word = tuple(word)
         self.stats.note(word)
         cached = self.cache.lookup(word)
         if cached is not None:
-            self.hits += 1
+            self._note_hits(word)
             return cached
         self.misses += 1
         outputs = self.inner.query(word)
-        self.cache.insert(word, outputs)
+        self._record(word, tuple(outputs))
         return outputs
 
     def query_batch(self, words: Sequence[Sequence[AbstractSymbol]]) -> list[Word]:
@@ -214,7 +246,7 @@ class CachedMembershipOracle:
         for index, word in enumerate(words):
             cached = self.cache.lookup(word)
             if cached is not None:
-                self.hits += 1
+                self._note_hits(word)
                 results[index] = cached
             else:
                 pending.setdefault(word, []).append(index)
@@ -237,16 +269,16 @@ class CachedMembershipOracle:
         #    from the trie the survivors just populated.
         answers = self.inner.query_batch(survivors)
         for word, outputs in zip(survivors, answers):
-            self.cache.insert(word, outputs)
+            self._record(word, tuple(outputs))
         executed = set(survivors)
         for word, indices in pending.items():
             outputs = self.cache.lookup(word)
             assert outputs is not None  # survivors cover every pending word
             if word in executed:
                 self.misses += 1
-                self.hits += len(indices) - 1
+                self._note_hits(word, len(indices) - 1)
             else:
-                self.hits += len(indices)
+                self._note_hits(word, len(indices))
             for index in indices:
                 results[index] = outputs
         return results  # type: ignore[return-value]

@@ -243,5 +243,6 @@ def load_builtins() -> None:
         toy_properties,
     )
     from .learn import cache, equivalence, lstar, nondeterminism, ttt  # noqa: F401
+    from .store import middleware as store_middleware  # noqa: F401
 
     _BUILTINS_LOADED = True

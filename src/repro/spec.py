@@ -187,6 +187,59 @@ class ExecutorSpec:
         )
 
 
+_STORE_FIELDS = {"path", "flush_every"}
+
+
+@dataclass
+class StoreSpec:
+    """The declarative ``store`` section of an experiment spec.
+
+    ``path`` locates the sqlite :class:`~repro.store.query_store
+    .QueryStore` file; when set, :func:`assemble` swaps the spec's
+    ``cache`` middleware layer for a :class:`~repro.store.middleware
+    .StoreBackedCache` keyed by the spec's
+    :meth:`~ExperimentSpec.sul_fingerprint`, so observations warm-start
+    across processes and days.  ``flush_every`` batches appended rows
+    per transaction.  In dict/JSON form a bare string is shorthand for
+    a path with default knobs.
+
+    Like the executor, the store deliberately does not contribute to
+    the SUL fingerprint: it changes where answers come *from*, never
+    what they are.
+    """
+
+    path: str
+    flush_every: int = 256
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "flush_every": self.flush_every}
+
+    @classmethod
+    def from_dict(cls, data: "StoreSpec | str | Mapping | None") -> "StoreSpec | None":
+        if data is None or isinstance(data, StoreSpec):
+            return data
+        if isinstance(data, str):
+            return cls(path=data)
+        if not isinstance(data, Mapping) or "path" not in data:
+            raise SpecError(f"store spec needs a 'path', got {data!r}")
+        unknown = set(data) - _STORE_FIELDS
+        if unknown:
+            raise SpecError(f"unknown store spec keys: {sorted(unknown)}")
+        return cls(**{key: data[key] for key in data})
+
+    def clone(self) -> "StoreSpec":
+        return StoreSpec(path=self.path, flush_every=self.flush_every)
+
+    def validate(self) -> "StoreSpec":
+        if not self.path:
+            raise SpecError("store spec needs a non-empty path")
+        if self.flush_every < 1:
+            raise SpecError(
+                f"need a positive store flush_every, got {self.flush_every}"
+            )
+        return self
+
+
 def default_equivalence() -> list[ComponentSpec]:
     """The default EQ chain: W-method with one extra state (paper setup)."""
     return [ComponentSpec("wmethod", {"extra_states": 1})]
@@ -210,6 +263,7 @@ _SPEC_FIELDS = {
     "name",
     "properties",
     "executor",
+    "store",
 }
 
 
@@ -239,12 +293,14 @@ class ExperimentSpec:
     name: str | None = None
     properties: PropertiesSpec | None = None
     executor: ExecutorSpec | None = None
+    store: StoreSpec | None = None
 
     def __post_init__(self) -> None:
         self.equivalence = [ComponentSpec.from_dict(e) for e in self.equivalence]
         self.middleware = [ComponentSpec.from_dict(m) for m in self.middleware]
         self.properties = PropertiesSpec.from_dict(self.properties)
         self.executor = ExecutorSpec.from_dict(self.executor)
+        self.store = StoreSpec.from_dict(self.store)
 
     # -- identity ----------------------------------------------------------
     def display_name(self) -> str:
@@ -306,6 +362,9 @@ class ExperimentSpec:
             "executor": (
                 None if self.executor is None else self.executor.to_dict()
             ),
+            "store": (
+                None if self.store is None else self.store.to_dict()
+            ),
         }
 
     @classmethod
@@ -354,6 +413,9 @@ class ExperimentSpec:
             "executor": (
                 None if self.executor is None else self.executor.clone()
             ),
+            "store": (
+                None if self.store is None else self.store.clone()
+            ),
         }
         unknown = set(overrides) - _SPEC_FIELDS
         if unknown:
@@ -392,6 +454,15 @@ class ExperimentSpec:
             )
         if self.properties is not None:
             self.properties.validate()
+        if self.store is not None:
+            self.store.validate()
+            if not any(
+                m.kind in ("cache", "store") for m in self.middleware
+            ):
+                raise SpecError(
+                    "a store section needs a 'cache' (or 'store') "
+                    "middleware layer to back"
+                )
         for registry, keys in (
             (SUL_REGISTRY, [self.target]),
             (LEARNER_REGISTRY, [self.learner]),
@@ -485,16 +556,29 @@ def assemble(
     owns_sul = sul is None
     if sul is None:
         sul = build_sul(spec)
+    layers = []
     try:
         base_oracle = SULMembershipOracle(sul)
         oracle: MembershipOracle = base_oracle
-        layers = []
         cache_warmed = False
+        store_attached = False
         for component in spec.middleware:
-            factory = MIDDLEWARE_REGISTRY.get(component.kind)
+            kind = component.kind
             params = dict(component.params)
+            # The store section upgrades the first plain cache layer to
+            # the store-backed one; an explicit "store" layer just gets
+            # the spec's identity defaults filled in.
+            if kind == "cache" and spec.store is not None and not store_attached:
+                kind = "store"
+            if kind == "store" and not store_attached:
+                if spec.store is not None:
+                    params.setdefault("path", spec.store.path)
+                    params.setdefault("flush_every", spec.store.flush_every)
+                params.setdefault("fingerprint", spec.sul_fingerprint())
+                store_attached = True
+            factory = MIDDLEWARE_REGISTRY.get(kind)
             if (
-                component.kind == "cache"
+                kind in ("cache", "store")
                 and shared_cache is not None
                 and not cache_warmed
             ):
@@ -513,8 +597,12 @@ def assemble(
         learner_params.update(spec.learner_params)
         learner = learner_factory(oracle, equivalence_oracle, **learner_params)
     except BaseException:
-        # Release the SUL we built (pool threads, simulated sockets)
-        # before surfacing the misconfiguration.
+        # Release whatever was built (pool threads, simulated sockets,
+        # store connections) before surfacing the misconfiguration.
+        for layer in layers:
+            layer_close = getattr(layer, "close", None)
+            if callable(layer_close):
+                layer_close()
         if owns_sul:
             close = getattr(sul, "close", None)
             if callable(close):

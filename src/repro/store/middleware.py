@@ -1,0 +1,106 @@
+"""The ``store`` oracle middleware: a query cache that survives processes.
+
+:class:`StoreBackedCache` is the prefix-tree cache layer with a durable
+sqlite backing: on construction it warm-starts its trie from every
+observation the :class:`~repro.store.query_store.QueryStore` holds for
+the SUL fingerprint, and every fresh observation is appended back
+(batched, WAL).  A spec opts in declaratively via its ``store`` section
+(:func:`repro.spec.assemble` swaps the plain ``cache`` layer for this
+one), or explicitly as a ``{"kind": "store"}`` middleware entry.
+
+Hit accounting distinguishes *store-served* hits (the word was already
+in the store when this run began) from ordinary within-run hits, which
+is what the warm-start identity guarantee measures: a re-learn of an
+unchanged spec must serve >= 90% of its membership queries from the
+store and never reset the SUL.
+"""
+
+from __future__ import annotations
+
+from ..core.trace import Word
+from ..learn.cache import CachedMembershipOracle, QueryCache
+from ..learn.teacher import MembershipOracle
+from ..registry import MIDDLEWARE_REGISTRY
+from .query_store import QueryStore
+
+
+@MIDDLEWARE_REGISTRY.register("store")
+class StoreBackedCache(CachedMembershipOracle):
+    """Cache middleware persisting observations to a :class:`QueryStore`.
+
+    ``path`` locates the sqlite store file and ``fingerprint`` keys this
+    SUL's observations in it (:func:`repro.spec.assemble` injects the
+    spec's :meth:`~repro.spec.ExperimentSpec.sul_fingerprint`).  A
+    pre-warmed ``cache`` (campaign cross-run sharing) merges with the
+    stored observations; a conflict between the two raises
+    :class:`~repro.learn.cache.CacheInconsistencyError` -- stale store
+    rows must be garbage-collected, never silently preferred.
+
+    Call :meth:`close` (the :class:`~repro.framework.Prognosis` context
+    manager does) to flush the append buffer and record hit/miss usage.
+    """
+
+    def __init__(
+        self,
+        inner: MembershipOracle,
+        path: str,
+        fingerprint: str,
+        flush_every: int = 256,
+        collapse_prefixes: bool = True,
+        cache: QueryCache | None = None,
+    ) -> None:
+        super().__init__(
+            inner, collapse_prefixes=collapse_prefixes, cache=cache
+        )
+        self.store = QueryStore(path, flush_every=flush_every)
+        self.fingerprint = fingerprint
+        self.store_hits = 0
+        #: The observations present in the store when this run began;
+        #: kept as a second trie so hit accounting can tell store-served
+        #: answers apart from within-run ones (prefix hits included).
+        self._preloaded = QueryCache()
+        try:
+            for word, outputs in self.store.observations(fingerprint):
+                self._preloaded.insert(word, outputs)
+                self.cache.insert(word, outputs)
+        except Exception:
+            self.store.close()
+            raise
+        self._closed = False
+
+    # -- hooks -------------------------------------------------------------
+    def _note_hits(self, word: Word, count: int = 1) -> None:
+        super()._note_hits(word, count)
+        if self._preloaded.lookup(word) is not None:
+            self.store_hits += count
+
+    def _record(self, word: Word, outputs: Word) -> None:
+        super()._record(word, outputs)
+        if self._preloaded.lookup(word) is None:
+            self.store.append(self.fingerprint, word, outputs)
+
+    # -- accounting --------------------------------------------------------
+    @property
+    def store_hit_rate(self) -> float:
+        """Share of membership queries served from the *persistent* store."""
+        total = self.hits + self.misses
+        return self.store_hits / total if total else 0.0
+
+    @property
+    def preloaded_words(self) -> int:
+        return self._preloaded.entries
+
+    # -- lifecycle ---------------------------------------------------------
+    def flush(self) -> None:
+        self.store.flush()
+
+    def close(self) -> None:
+        """Flush buffered observations and record this session's usage."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.hits or self.misses:
+            self.store.record_usage(
+                self.fingerprint, hits=self.store_hits, misses=self.misses
+            )
+        self.store.close()

@@ -1,0 +1,173 @@
+"""Versioned learned-model lineage (the other half of the store file).
+
+A :class:`ModelStore` keeps every model ever learned for a SUL
+fingerprint, together with the spec that produced it, its accounting
+stats and a timestamp -- the lineage ``repro ci`` diffs against.  It
+shares the sqlite file (and WAL) with :class:`~repro.store.query_store
+.QueryStore`; versions are a per-fingerprint sequence starting at 1.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from ..core.mealy import MealyMachine
+from .query_store import StoreError, open_connection
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS models (
+    fingerprint TEXT NOT NULL,
+    version     INTEGER NOT NULL,
+    created     REAL NOT NULL,
+    spec        TEXT NOT NULL,
+    model       TEXT NOT NULL,
+    stats       TEXT NOT NULL,
+    PRIMARY KEY (fingerprint, version)
+)
+"""
+
+
+@dataclass
+class ModelRecord:
+    """One stored model version with its provenance."""
+
+    fingerprint: str
+    version: int
+    created: float
+    spec: dict
+    model: dict
+    stats: dict
+
+    def machine(self) -> MealyMachine:
+        """The stored model as a live machine."""
+        return MealyMachine.from_dict(self.model)
+
+    def summary(self) -> str:
+        when = time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(self.created))
+        states = len({t["source"] for t in self.model.get("transitions", ())})
+        return (
+            f"v{self.version} ({when}Z): {states} states, "
+            f"{len(self.model.get('transitions', ()))} transitions"
+        )
+
+
+class ModelStore:
+    """Append-only model lineage keyed by SUL fingerprint."""
+
+    def __init__(self, path: str | Path, timeout_s: float = 30.0) -> None:
+        self.path = str(path)
+        self._conn = open_connection(path, timeout_s)
+        with self._conn:
+            self._conn.execute(_SCHEMA)
+
+    # -- writing -----------------------------------------------------------
+    def save(
+        self,
+        fingerprint: str,
+        model: MealyMachine | Mapping,
+        spec: Mapping | None = None,
+        stats: Mapping | None = None,
+    ) -> int:
+        """Store a new model version; returns the version number.
+
+        Two processes saving concurrently race on the version sequence;
+        the ``(fingerprint, version)`` primary key turns the race into a
+        retry instead of a silent overwrite.
+        """
+        model_dict = model.to_dict() if isinstance(model, MealyMachine) else dict(model)
+        payload = (
+            json.dumps(dict(spec or {}), sort_keys=True),
+            json.dumps(model_dict, sort_keys=True),
+            json.dumps(dict(stats or {}), sort_keys=True),
+        )
+        for _ in range(16):
+            (current,) = self._conn.execute(
+                "SELECT COALESCE(MAX(version), 0) FROM models"
+                " WHERE fingerprint = ?",
+                (fingerprint,),
+            ).fetchone()
+            version = current + 1
+            try:
+                with self._conn:
+                    self._conn.execute(
+                        "INSERT INTO models"
+                        " (fingerprint, version, created, spec, model, stats)"
+                        " VALUES (?, ?, ?, ?, ?, ?)",
+                        (fingerprint, version, time.time(), *payload),
+                    )
+                return version
+            except sqlite3.IntegrityError:  # another writer took it: retry
+                continue
+        raise StoreError(
+            f"could not allocate a model version for {fingerprint!r}"
+        )
+
+    def gc(self, fingerprint: str) -> int:
+        """Drop the fingerprint's whole model lineage; returns row count."""
+        with self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM models WHERE fingerprint = ?", (fingerprint,)
+            )
+        return cursor.rowcount
+
+    # -- reading -----------------------------------------------------------
+    def _record(self, row) -> ModelRecord:
+        fingerprint, version, created, spec, model, stats = row
+        return ModelRecord(
+            fingerprint=fingerprint,
+            version=version,
+            created=created,
+            spec=json.loads(spec),
+            model=json.loads(model),
+            stats=json.loads(stats),
+        )
+
+    def latest(self, fingerprint: str) -> ModelRecord | None:
+        """The newest stored model for a fingerprint, or ``None``."""
+        row = self._conn.execute(
+            "SELECT fingerprint, version, created, spec, model, stats"
+            " FROM models WHERE fingerprint = ?"
+            " ORDER BY version DESC LIMIT 1",
+            (fingerprint,),
+        ).fetchone()
+        return None if row is None else self._record(row)
+
+    def history(self, fingerprint: str) -> list[ModelRecord]:
+        """Every stored version, oldest first (the lineage)."""
+        cursor = self._conn.execute(
+            "SELECT fingerprint, version, created, spec, model, stats"
+            " FROM models WHERE fingerprint = ? ORDER BY version",
+            (fingerprint,),
+        )
+        return [self._record(row) for row in cursor]
+
+    def version_count(self, fingerprint: str) -> int:
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM models WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        return count
+
+    def fingerprints(self) -> list[str]:
+        cursor = self._conn.execute(
+            "SELECT DISTINCT fingerprint FROM models ORDER BY fingerprint"
+        )
+        return [row[0] for row in cursor]
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ModelStore":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ModelStore({self.path!r})"

@@ -465,3 +465,90 @@ class TestPropertiesCommand:
             )
         finally:
             SUL_REGISTRY.unregister("bare-target")
+
+
+class TestCiCommand:
+    def _seed(self, tmp_path):
+        """A store seeded by one cold toy run; returns its path."""
+        spec_path = tmp_path / "toy.json"
+        spec_path.write_text(json.dumps({"target": "toy", "name": "toy"}))
+        store = tmp_path / "store.sqlite"
+        assert main(["run", str(spec_path), "--store", str(store)]) == 0
+        return store
+
+    def test_ci_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ci", "toy"])
+
+    def test_ci_cold_then_green(self, capsys, tmp_path):
+        store = tmp_path / "store.sqlite"
+        assert main(["ci", "toy", "--store", str(store)]) == 0
+        assert "cold learn" in capsys.readouterr().out
+        assert main(["ci", "toy", "--store", str(store)]) == 0
+        assert "revalidated" in capsys.readouterr().out
+
+    def test_ci_unchanged_exits_zero_without_sul_queries(self, capsys, tmp_path):
+        store = self._seed(tmp_path)
+        assert main(["ci", "toy", "--exact", "--store", str(store)]) == 0
+        assert "0 SUL queries" in capsys.readouterr().out
+
+    def test_ci_drift_exits_nonzero_with_witness(self, capsys, tmp_path):
+        spec_path = tmp_path / "http2.json"
+        spec_path.write_text(json.dumps({"target": "http2", "name": "http2"}))
+        store = tmp_path / "store.sqlite"
+        assert main(["run", str(spec_path), "--store", str(store)]) == 0
+        out_dir = tmp_path / "drift"
+        code = main(
+            ["ci", "http2-buggy", "--baseline", "http2",
+             "--store", str(store), "--out", str(out_dir)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DRIFT" in out
+        assert "RST_STREAM" in out  # the minimized witness is printed
+        artifact = json.loads((out_dir / "ci-http2-buggy.json").read_text())
+        assert artifact["drifted"] is True
+        assert artifact["diff"]["witnesses"]
+
+    def test_ci_writes_artifact_when_green(self, capsys, tmp_path):
+        store = self._seed(tmp_path)
+        out_dir = tmp_path / "ci"
+        assert main(
+            ["ci", "toy", "--exact", "--store", str(store),
+             "--out", str(out_dir)]
+        ) == 0
+        artifact = json.loads((out_dir / "ci-toy.json").read_text())
+        assert artifact["mode"] == "revalidated"
+        assert artifact["revalidation_sul_queries"] == 0
+
+    def test_ci_unknown_target(self, capsys, tmp_path):
+        store = tmp_path / "store.sqlite"
+        assert main(["ci", "http9", "--store", str(store)]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+
+class TestStoreCommand:
+    def test_store_missing_file(self, capsys, tmp_path):
+        assert main(["store", str(tmp_path / "absent.sqlite")]) == 2
+        assert "no store" in capsys.readouterr().err
+
+    def test_store_stats(self, capsys, tmp_path):
+        spec_path = tmp_path / "toy.json"
+        spec_path.write_text(json.dumps({"target": "toy", "name": "toy"}))
+        store = tmp_path / "store.sqlite"
+        assert main(["run", str(spec_path), "--store", str(store)]) == 0
+        assert main(["store", str(store), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "1 fingerprints" in out
+        assert "observations:" in out
+        assert "models: 1" in out
+
+    def test_store_gc_by_target_name(self, capsys, tmp_path):
+        spec_path = tmp_path / "toy.json"
+        spec_path.write_text(json.dumps({"target": "toy", "name": "toy"}))
+        store = tmp_path / "store.sqlite"
+        assert main(["run", str(spec_path), "--store", str(store)]) == 0
+        assert main(["store", str(store), "--gc", "toy"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["store", str(store), "--stats"]) == 0
+        assert "empty store" in capsys.readouterr().out

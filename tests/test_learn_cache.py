@@ -55,6 +55,41 @@ class TestQueryCache:
         assert cache.lookup((syn,)) is None
         assert cache.entries == 0
 
+    def test_merge_from_transfers_observations(self, toy_machine, ab_alphabet):
+        syn, ack = ab_alphabet.symbols
+        source, destination = QueryCache(), QueryCache()
+        source.insert((syn, ack), toy_machine.run((syn, ack)))
+        destination.merge_from(source)
+        assert destination.lookup((syn, ack)) == toy_machine.run((syn, ack))
+
+    def test_merge_from_raises_on_disagreement(self, ab_alphabet, out_symbols):
+        """Two caches answering the same word differently must never merge
+        silently -- that is how a store of a changed SUL gets poisoned."""
+        syn, _ = ab_alphabet.symbols
+        synack, nil = out_symbols
+        first, second = QueryCache(), QueryCache()
+        first.insert((syn,), (synack,))
+        second.insert((syn,), (nil,))
+        with pytest.raises(CacheInconsistencyError):
+            first.merge_from(second)
+
+    def test_failed_merge_leaves_destination_untouched(
+        self, ab_alphabet, out_symbols
+    ):
+        """The merge is atomic: a conflict anywhere in the source must not
+        leave the destination with half the source's words inserted."""
+        syn, ack = ab_alphabet.symbols
+        synack, nil = out_symbols
+        destination = QueryCache()
+        destination.insert((syn,), (synack,))
+        source = QueryCache()
+        source.insert((ack,), (nil,))  # compatible: would be new
+        source.insert((syn,), (nil,))  # conflicts with the destination
+        with pytest.raises(CacheInconsistencyError):
+            destination.merge_from(source)
+        assert destination.lookup((ack,)) is None  # nothing leaked in
+        assert destination.entries == 1
+
 
 class TestCachedOracle:
     def test_second_query_is_a_hit(self, toy_machine, ab_alphabet):
