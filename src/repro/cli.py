@@ -120,31 +120,19 @@ def _expand_member_specs(
 ) -> tuple[list, str | None]:
     """Expand families/targets/spec files into a list of experiment specs.
 
-    Family names expand to all of their members ("quic" -> the three
-    implementations) anywhere in the argument list.  A name that is both
-    a registered target and a family stem ("http2", "tcp") expands only
-    when it is the sole argument; ``exact`` suppresses expansion
-    entirely.  Returns ``(specs, None)`` on success or ``(None, error
-    message)``.
+    Name resolution (family expansion, sole-argument rule, ``exact``,
+    dedup) is :func:`repro.registry.resolve_targets`; this wrapper adds
+    the spec-file fallback for path-like arguments.  Returns
+    ``(specs, None)`` on success or ``(None, error message)``.
     """
     from pathlib import Path
 
+    from .registry import resolve_targets
     from .spec import ExperimentSpec
 
     load_builtins()
     families = SUL_REGISTRY.families()
-    expanded: list[str] = []
-    for member in members:
-        is_family = len(families.get(member, ())) > 1
-        expand = is_family and (
-            member not in SUL_REGISTRY or len(members) == 1
-        )
-        if expand and not exact:
-            expanded.extend(families[member])
-        else:
-            expanded.append(member)
-    # An expansion overlapping an explicit target must not duplicate runs.
-    expanded = list(dict.fromkeys(expanded))
+    expanded = resolve_targets(members, exact=exact, allow_unknown=True)
     specs = []
     for member in expanded:
         if member in SUL_REGISTRY:

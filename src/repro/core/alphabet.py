@@ -366,6 +366,116 @@ def parse_http2_output(text: str) -> HTTP2Output:
     return HTTP2Output.make(parse_http2_symbol(part) for part in text.split("+"))
 
 
+#: HTTP/3 abstract frame kinds (RFC 9114 section 7.2) plus ``RST`` for a
+#: QUIC-level stream reset and ``CANCEL``, the client's abstract request
+#: cancellation (concretized as RESET_STREAM with H3_REQUEST_CANCELLED).
+H3_FRAME_KINDS = (
+    "SETTINGS",
+    "HEADERS",
+    "DATA",
+    "GOAWAY",
+    "CANCEL",
+    "RST",
+    "CANCEL_PUSH",
+    "MAX_PUSH_ID",
+    "PUSH_PROMISE",
+)
+
+
+@dataclass(frozen=True, order=True)
+class H3Symbol(AbstractSymbol):
+    """An HTTP/3 abstract symbol such as ``HEADERS[FIN]``.
+
+    HTTP/3 frames carry no flags -- end-of-message is the QUIC stream's
+    FIN bit -- so the only modifier is ``fin``, rendered ``KIND[FIN]``.
+    Stream identifiers live in the Oracle Table's concrete parameters,
+    exactly as for HTTP/2.
+    """
+
+    kind: str = "SETTINGS"
+    fin: bool = False
+
+    @classmethod
+    def make(cls, kind: str, fin: bool = False) -> "H3Symbol":
+        """Build a canonical symbol, validating the frame kind."""
+        kind = kind.upper()
+        if kind not in H3_FRAME_KINDS:
+            raise SymbolError(f"unknown HTTP/3 frame kind: {kind!r}")
+        label = f"{kind}[FIN]" if fin else kind
+        return cls(label=label, kind=kind, fin=fin)
+
+
+_H3_SYMBOL_RE = re.compile(r"^(?P<kind>[A-Z_]+)(?P<fin>\[FIN\])?$")
+
+
+def parse_h3_symbol(text: str) -> H3Symbol:
+    """Parse an HTTP/3 frame symbol, e.g. ``HEADERS[FIN]`` or ``GOAWAY``."""
+    match = _H3_SYMBOL_RE.match(text.strip())
+    if match is None:
+        raise SymbolError(f"malformed HTTP/3 symbol: {text!r}")
+    return H3Symbol.make(match.group("kind"), fin=match.group("fin") is not None)
+
+
+@dataclass(frozen=True, order=True)
+class H3Output(AbstractSymbol):
+    """An abstract HTTP/3 *output*: per-stream frame sequences.
+
+    QUIC streams are independent, so -- unlike :class:`HTTP2Output`'s
+    single ordered sequence -- a response is a *multiset of streams*,
+    each an ordered frame sequence.  Rendered as the sorted, braced form
+    ``{HEADERS+DATA[FIN],SETTINGS}``; an empty response is ``{}``.
+    """
+
+    streams: tuple[tuple[H3Symbol, ...], ...] = ()
+
+    @classmethod
+    def make(cls, streams: Iterable[Iterable[H3Symbol]]) -> "H3Output":
+        canonical = tuple(
+            sorted(
+                (tuple(stream) for stream in streams),
+                key=lambda s: "+".join(f.label for f in s),
+            )
+        )
+        label = (
+            "{"
+            + ",".join("+".join(f.label for f in s) for s in canonical)
+            + "}"
+        )
+        return cls(label=label, streams=canonical)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.streams
+
+    def __len__(self) -> int:
+        return len(self.streams)
+
+    def __iter__(self) -> Iterator[tuple[H3Symbol, ...]]:
+        return iter(self.streams)
+
+    def kinds(self) -> tuple[tuple[str, ...], ...]:
+        """Frame kinds per stream, in canonical stream order."""
+        return tuple(tuple(f.kind for f in s) for s in self.streams)
+
+
+#: Canonical empty HTTP/3 output, rendered ``{}``.
+H3_EMPTY_OUTPUT = H3Output.make(())
+
+
+def parse_h3_output(text: str) -> H3Output:
+    """Parse a rendered stream multiset such as ``{HEADERS+DATA[FIN]}``."""
+    text = text.strip()
+    if not (text.startswith("{") and text.endswith("}")):
+        raise SymbolError(f"malformed HTTP/3 output: {text!r}")
+    body = text[1:-1]
+    if not body:
+        return H3_EMPTY_OUTPUT
+    return H3Output.make(
+        tuple(parse_h3_symbol(part) for part in item.split("+"))
+        for item in body.split(",")
+    )
+
+
 @dataclass(frozen=True)
 class Alphabet:
     """An ordered, indexable collection of abstract symbols."""
@@ -412,6 +522,8 @@ _SYMBOL_PARSERS = {
     "quic-output": lambda text: parse_quic_output(text),
     "http2": lambda text: parse_http2_symbol(text),
     "http2-output": lambda text: parse_http2_output(text),
+    "h3": lambda text: parse_h3_symbol(text),
+    "h3-output": lambda text: parse_h3_output(text),
     "raw": lambda text: AbstractSymbol(label=text),
 }
 
@@ -433,6 +545,10 @@ def serialize_symbol(symbol: AbstractSymbol) -> dict:
         kind = "http2-output"
     elif isinstance(symbol, HTTP2Symbol):
         kind = "http2"
+    elif isinstance(symbol, H3Output):
+        kind = "h3-output"
+    elif isinstance(symbol, H3Symbol):
+        kind = "h3"
     else:
         kind = "raw"
     return {"kind": kind, "text": symbol.label}
@@ -489,6 +605,27 @@ def http2_alphabet() -> Alphabet:
             parse_http2_symbol("RST_STREAM[]"),
             parse_http2_symbol("PING[]"),
             parse_http2_symbol("GOAWAY[]"),
+        ]
+    )
+
+
+def h3_alphabet() -> Alphabet:
+    """The 7-symbol HTTP/3 abstract input alphabet.
+
+    Same shape as the HTTP/2 alphabet -- handshake (SETTINGS), complete
+    and open requests, body completion, cancellation, shutdown -- but
+    framed in HTTP/3 terms: no flags, FIN is the QUIC stream bit, and
+    liveness (PING) has no HTTP/3 frame, its place taken by a bare DATA.
+    """
+    return Alphabet.of(
+        [
+            parse_h3_symbol("SETTINGS"),
+            parse_h3_symbol("HEADERS[FIN]"),
+            parse_h3_symbol("HEADERS"),
+            parse_h3_symbol("DATA"),
+            parse_h3_symbol("DATA[FIN]"),
+            parse_h3_symbol("CANCEL"),
+            parse_h3_symbol("GOAWAY"),
         ]
     )
 

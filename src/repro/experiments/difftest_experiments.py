@@ -59,6 +59,32 @@ def difftest_http2(
     ).run()
 
 
+def difftest_http3(
+    learner: str = "ttt",
+    seed: int = 8,
+    workers: int = 1,
+    kinds=("wmethod",),
+    output_dir=None,
+) -> DiffTestResult:
+    """Conformant vs GOAWAY-teardown HTTP/3 servers, composed over QUIC.
+
+    The first differential campaign over a *composed* (layered-adapter)
+    family.  The divergent cell's minimized witness is the shortest
+    symbol sequence exposing the RFC 9114 section 5.2 quirk: after the
+    shutdown handshake (SETTINGS, GOAWAY) the conformant server rejects
+    a new request with a reset (``{RST}``) while the buggy one has torn
+    the connection down and answers nothing (``{}``).
+    """
+    return DiffCampaign.family(
+        "http3",
+        learner=learner,
+        seed=seed,
+        kinds=kinds,
+        workers=workers,
+        output_dir=output_dir,
+    ).run()
+
+
 def difftest_tcp(
     learner: str = "ttt",
     seed: int = 0,

@@ -1,0 +1,60 @@
+"""HTTP/3 workload: frame codec, QPACK, server and client (RFC 9114/9204)."""
+
+from .actions import H3Action
+from .client import H3Client, H3ClientConfig
+from .frames import (
+    H3Frame,
+    H3FrameDecoder,
+    H3FrameError,
+    H3FrameType,
+    STREAM_TYPE_CONTROL,
+    data_frame,
+    goaway_frame,
+    headers_frame,
+    max_push_id_frame,
+    parse_goaway,
+    parse_settings,
+    settings_frame,
+)
+from .qpack import (
+    QPACK_STATIC,
+    QPACK_STATIC_ENTRIES,
+    QPACKDecoder,
+    QPACKEncoder,
+    QPACKError,
+)
+from .server import (
+    CLIENT_CONTROL_STREAM,
+    ConnectionState,
+    H3Server,
+    H3ServerConfig,
+    SERVER_CONTROL_STREAM,
+)
+
+__all__ = [
+    "CLIENT_CONTROL_STREAM",
+    "ConnectionState",
+    "H3Action",
+    "H3Client",
+    "H3ClientConfig",
+    "H3Frame",
+    "H3FrameDecoder",
+    "H3FrameError",
+    "H3FrameType",
+    "H3Server",
+    "H3ServerConfig",
+    "QPACK_STATIC",
+    "QPACK_STATIC_ENTRIES",
+    "QPACKDecoder",
+    "QPACKEncoder",
+    "QPACKError",
+    "SERVER_CONTROL_STREAM",
+    "STREAM_TYPE_CONTROL",
+    "data_frame",
+    "goaway_frame",
+    "headers_frame",
+    "max_push_id_frame",
+    "parse_goaway",
+    "parse_settings",
+    "settings_frame",
+]

@@ -1,0 +1,23 @@
+"""The transport-neutral action type HTTP/3 endpoints speak.
+
+The :mod:`repro.h3` package is pure protocol logic -- it neither imports
+nor knows about any transport.  Endpoints express "put these bytes (or
+this reset) on that stream" as :class:`H3Action` values; the app layer in
+:mod:`repro.adapter.h3_adapter` translates them onto whatever
+:class:`~repro.adapter.layered.Transport` carries the connection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class H3Action:
+    """One outbound stream operation: data (with optional FIN) or a reset."""
+
+    stream_id: int
+    data: bytes = b""
+    fin: bool = False
+    reset: bool = False
+    error_code: int = 0

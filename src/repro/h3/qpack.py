@@ -1,0 +1,253 @@
+"""A static-table QPACK field-section codec (RFC 9204).
+
+QPACK reuses HPACK's primitive encodings unchanged -- prefix-coded
+integers and length-prefixed string literals -- so this module builds on
+the shared table-codec interface of :mod:`repro.http2.hpack`
+(:class:`~repro.http2.hpack.StaticTable` plus the integer/string codecs)
+instead of copying it.  What differs is the table itself (99 entries,
+0-indexed on the wire, RFC 9204 Appendix A) and the field-line
+representations (section 4.5).
+
+Like the HPACK codec, only the dynamic-table-free subset is spoken: the
+encoder emits static-indexed and literal representations, the required
+insert count is always zero, and the decoder rejects anything that would
+reference a dynamic table.
+"""
+
+from __future__ import annotations
+
+from ..http2.hpack import (
+    StaticTable,
+    decode_integer,
+    decode_string,
+    encode_integer,
+    encode_string,
+)
+
+
+class QPACKError(ValueError):
+    """A malformed or unsupported encoded field section."""
+
+
+#: The QPACK static table of RFC 9204 Appendix A (0-indexed on the wire).
+QPACK_STATIC_ENTRIES: tuple[tuple[str, str], ...] = (
+    (":authority", ""),
+    (":path", "/"),
+    ("age", "0"),
+    ("content-disposition", ""),
+    ("content-length", "0"),
+    ("cookie", ""),
+    ("date", ""),
+    ("etag", ""),
+    ("if-modified-since", ""),
+    ("if-none-match", ""),
+    ("last-modified", ""),
+    ("link", ""),
+    ("location", ""),
+    ("referer", ""),
+    ("set-cookie", ""),
+    (":method", "CONNECT"),
+    (":method", "DELETE"),
+    (":method", "GET"),
+    (":method", "HEAD"),
+    (":method", "OPTIONS"),
+    (":method", "POST"),
+    (":method", "PUT"),
+    (":scheme", "http"),
+    (":scheme", "https"),
+    (":status", "103"),
+    (":status", "200"),
+    (":status", "304"),
+    (":status", "404"),
+    (":status", "503"),
+    ("accept", "*/*"),
+    ("accept", "application/dns-message"),
+    ("accept-encoding", "gzip, deflate, br"),
+    ("accept-ranges", "bytes"),
+    ("access-control-allow-headers", "cache-control"),
+    ("access-control-allow-headers", "content-type"),
+    ("access-control-allow-origin", "*"),
+    ("cache-control", "max-age=0"),
+    ("cache-control", "max-age=2592000"),
+    ("cache-control", "max-age=604800"),
+    ("cache-control", "no-cache"),
+    ("cache-control", "no-store"),
+    ("cache-control", "public, max-age=31536000"),
+    ("content-encoding", "br"),
+    ("content-encoding", "gzip"),
+    ("content-type", "application/dns-message"),
+    ("content-type", "application/javascript"),
+    ("content-type", "application/json"),
+    ("content-type", "application/x-www-form-urlencoded"),
+    ("content-type", "image/gif"),
+    ("content-type", "image/jpeg"),
+    ("content-type", "image/png"),
+    ("content-type", "text/css"),
+    ("content-type", "text/html; charset=utf-8"),
+    ("content-type", "text/plain"),
+    ("content-type", "text/plain;charset=utf-8"),
+    ("range", "bytes=0-"),
+    ("strict-transport-security", "max-age=31536000"),
+    ("strict-transport-security", "max-age=31536000; includesubdomains"),
+    ("strict-transport-security", "max-age=31536000; includesubdomains; preload"),
+    ("vary", "accept-encoding"),
+    ("vary", "origin"),
+    ("x-content-type-options", "nosniff"),
+    ("x-xss-protection", "1; mode=block"),
+    (":status", "100"),
+    (":status", "204"),
+    (":status", "206"),
+    (":status", "302"),
+    (":status", "400"),
+    (":status", "403"),
+    (":status", "421"),
+    (":status", "425"),
+    (":status", "500"),
+    ("accept-language", ""),
+    ("access-control-allow-credentials", "FALSE"),
+    ("access-control-allow-credentials", "TRUE"),
+    ("access-control-allow-headers", "*"),
+    ("access-control-allow-methods", "get"),
+    ("access-control-allow-methods", "get, post, options"),
+    ("access-control-allow-methods", "options"),
+    ("access-control-expose-headers", "content-length"),
+    ("access-control-request-headers", "content-type"),
+    ("access-control-request-method", "get"),
+    ("access-control-request-method", "post"),
+    ("alt-svc", "clear"),
+    ("authorization", ""),
+    (
+        "content-security-policy",
+        "script-src 'none'; object-src 'none'; base-uri 'none'",
+    ),
+    ("early-data", "1"),
+    ("expect-ct", ""),
+    ("forwarded", ""),
+    ("if-range", ""),
+    ("origin", ""),
+    ("purpose", "prefetch"),
+    ("server", ""),
+    ("timing-allow-origin", "*"),
+    ("upgrade-insecure-requests", "1"),
+    ("user-agent", ""),
+    ("x-forwarded-for", ""),
+    ("x-frame-options", "deny"),
+    ("x-frame-options", "sameorigin"),
+)
+
+#: The QPACK static table behind the shared interface (base 0).
+QPACK_STATIC = StaticTable(QPACK_STATIC_ENTRIES, base=0)
+
+
+class QPACKEncoder:
+    """Encodes field sections against the static table only.
+
+    The section prefix is always ``00 00`` (required insert count and
+    base both zero -- no dynamic table).  Full matches become static
+    indexed field lines, name matches become literals with a static name
+    reference, and everything else is a literal with a literal name.
+    """
+
+    def encode(self, headers: list[tuple[str, str]] | tuple) -> bytes:
+        section = bytearray(b"\x00\x00")  # required insert count 0, base 0
+        for name, value in headers:
+            index = QPACK_STATIC.field_index(name, value)
+            if index is not None:
+                encoded = encode_integer(index, 6)
+                encoded[0] |= 0xC0  # '1' indexed, 'T'=1 static
+                section.extend(encoded)
+                continue
+            name_index = QPACK_STATIC.name_index(name)
+            if name_index is not None:
+                encoded = encode_integer(name_index, 4)
+                encoded[0] |= 0x50  # '01' literal w/ name ref, 'T'=1 static
+                section.extend(encoded)
+            else:
+                encoded = encode_integer(len(name.encode("utf-8")), 3)
+                encoded[0] |= 0x20  # '001' literal name, N=0, H=0
+                section.extend(encoded)
+                section.extend(name.encode("utf-8"))
+            section.extend(encode_string(value))
+        return bytes(section)
+
+
+class QPACKDecoder:
+    """Decodes field sections produced by a static-table-only encoder.
+
+    Dynamic-table representations -- a non-zero required insert count,
+    post-base lines, or name references with ``T=0`` -- raise
+    :class:`QPACKError` instead of silently desynchronizing.
+    """
+
+    def decode(self, section: bytes) -> list[tuple[str, str]]:
+        offset = self._check_prefix(section)
+        headers: list[tuple[str, str]] = []
+        try:
+            while offset < len(section):
+                first = section[offset]
+                if first & 0x80:  # indexed field line
+                    if not first & 0x40:
+                        raise QPACKError(
+                            "dynamic-table index requires a dynamic table"
+                        )
+                    index, offset = decode_integer(section, offset, 6)
+                    headers.append(self._lookup(index))
+                elif first & 0x40:  # literal with name reference
+                    if not first & 0x10:
+                        raise QPACKError(
+                            "dynamic-table name reference is unsupported"
+                        )
+                    index, offset = decode_integer(section, offset, 4)
+                    name = self._lookup(index)[0]
+                    value, offset = decode_string(section, offset)
+                    headers.append((name, value))
+                elif first & 0x20:  # literal with literal name
+                    if first & 0x08:
+                        raise QPACKError("Huffman-coded names are unsupported")
+                    length, offset = decode_integer(section, offset, 3)
+                    end = offset + length
+                    if end > len(section):
+                        raise QPACKError("name literal overruns the section")
+                    name = section[offset:end].decode("utf-8")
+                    value, offset = decode_string(section, end)
+                    headers.append((name, value))
+                else:  # post-base representations (0x10 / 0x00 patterns)
+                    raise QPACKError(
+                        "post-base field lines require a dynamic table"
+                    )
+        except ValueError as exc:  # HPACKError from the shared primitives
+            if isinstance(exc, QPACKError):
+                raise
+            raise QPACKError(str(exc)) from exc
+        return headers
+
+    @staticmethod
+    def _check_prefix(section: bytes) -> int:
+        """Validate the two-integer section prefix; returns the offset."""
+        try:
+            required_insert_count, offset = decode_integer(section, 0, 8)
+        except ValueError as exc:
+            raise QPACKError(f"truncated section prefix: {exc}") from exc
+        if required_insert_count:
+            raise QPACKError(
+                "non-zero required insert count needs a dynamic table"
+            )
+        if offset >= len(section):
+            raise QPACKError("section prefix missing the base")
+        sign = section[offset] & 0x80
+        try:
+            base, offset = decode_integer(section, offset, 7)
+        except ValueError as exc:
+            raise QPACKError(f"truncated section prefix: {exc}") from exc
+        if base or sign:
+            raise QPACKError("non-zero base needs a dynamic table")
+        return offset
+
+    @staticmethod
+    def _lookup(index: int) -> tuple[str, str]:
+        try:
+            return QPACK_STATIC.lookup(index)
+        except IndexError:
+            raise QPACKError(
+                f"field index {index} outside the static table"
+            ) from None

@@ -10,7 +10,14 @@ from .frames import (
     FrameType,
     Setting,
 )
-from .hpack import HPACKDecoder, HPACKEncoder, HPACKError, STATIC_TABLE
+from .hpack import (
+    HPACK_STATIC,
+    HPACKDecoder,
+    HPACKEncoder,
+    HPACKError,
+    STATIC_TABLE,
+    StaticTable,
+)
 from .server import ConnectionState, HTTP2Server, HTTP2ServerConfig
 from .stream import H2Stream, StreamError, StreamState
 
@@ -23,6 +30,7 @@ __all__ = [
     "FrameError",
     "FrameType",
     "H2Stream",
+    "HPACK_STATIC",
     "HPACKDecoder",
     "HPACKEncoder",
     "HPACKError",
@@ -32,6 +40,7 @@ __all__ = [
     "HTTP2ServerConfig",
     "STATIC_TABLE",
     "Setting",
+    "StaticTable",
     "StreamError",
     "StreamState",
 ]

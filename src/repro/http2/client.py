@@ -57,8 +57,8 @@ class HTTP2Client:
 
     def __init__(
         self,
-        network: SimulatedNetwork,
-        server_address: Address,
+        network: SimulatedNetwork | None = None,
+        server_address: Address | None = None,
         config: HTTP2ClientConfig | None = None,
         seed: int = 11,
     ) -> None:
@@ -66,7 +66,13 @@ class HTTP2Client:
         self._network = network
         self._seed = seed  # interface symmetry with the TCP/QUIC clients
         self.server_address = server_address
-        self.endpoint = network.bind(self.config.host, self.config.port)
+        # Standalone mode (network=None): a subclass overrides _transmit
+        # to route bytes through a composed transport instead.
+        self.endpoint = (
+            network.bind(self.config.host, self.config.port)
+            if network is not None
+            else None
+        )
         self._encoder = HPACKEncoder()
         self._decoder = HPACKDecoder()
         self.preface_sent = False
@@ -88,10 +94,12 @@ class HTTP2Client:
         self.last_stream_id = 0
         self._frames = FrameDecoder()
         self.last_response_headers = []
-        self.endpoint.receive_all()  # drop any stale datagrams
+        if self.endpoint is not None:
+            self.endpoint.receive_all()  # drop any stale datagrams
 
     def close(self) -> None:
-        self.endpoint.close()
+        if self.endpoint is not None:
+            self.endpoint.close()
 
     # ------------------------------------------------------------------
     # Concretization: abstract frame kind + flags -> valid concrete frame
@@ -181,12 +189,26 @@ class HTTP2Client:
         if not self.preface_sent:
             payload = CONNECTION_PREFACE + payload
             self.preface_sent = True
-        self.endpoint.send(payload, self.server_address)
         self._note_sent(frame)
-        self._network.run()
         responses: list[Frame] = []
-        for datagram in self.endpoint.receive_all():
-            responses.extend(self._frames.feed(datagram.payload))
+        for chunk in self._transmit(payload):
+            responses.extend(self._frames.feed(chunk))
         for response in responses:
             self._note_received(response)
         return frame, responses
+
+    def _transmit(self, payload: bytes) -> list[bytes]:
+        """Put request bytes on the wire; returns the response byte chunks.
+
+        The default routes through the client's own network endpoint and
+        runs the simulated network to quiescence; transport-composed
+        clients override this to ride a
+        :class:`~repro.adapter.layered.Transport` instead.
+        """
+        if self.endpoint is None or self.server_address is None:
+            raise RuntimeError(
+                "standalone HTTP2Client has no endpoint; override _transmit"
+            )
+        self.endpoint.send(payload, self.server_address)
+        self._network.run()
+        return [datagram.payload for datagram in self.endpoint.receive_all()]

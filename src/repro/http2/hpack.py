@@ -6,13 +6,67 @@ string literals (section 5.2).  The encoder emits only representations a
 dynamic-table-free decoder can read -- indexed fields and literals
 *without* indexing -- and the decoder rejects representations that would
 require a dynamic table, loudly rather than silently mis-decoding.
+
+The table-codec primitives are shared across header-compression schemes:
+:class:`StaticTable` wraps any entry list with a configurable wire base
+index (HPACK indexes from 1, QPACK from 0) and the integer/string codecs
+are exactly RFC 7541 section 5, which RFC 9204 reuses unchanged.  The
+QPACK codec in :mod:`repro.h3.qpack` builds on these instead of copying
+them.
 """
 
 from __future__ import annotations
 
+from typing import Iterator
+
 
 class HPACKError(ValueError):
     """A malformed or unsupported header block."""
+
+
+class StaticTable:
+    """An immutable (name, value) table addressed by wire index.
+
+    ``base`` is the index of the first entry on the wire: 1 for HPACK
+    (RFC 7541 Appendix A), 0 for QPACK (RFC 9204 Appendix A).  Lookup
+    helpers return ``None`` on a miss so encoders can fall back to
+    literal representations; :meth:`lookup` raises :class:`IndexError`
+    for out-of-range wire indices, which decoders wrap in their own
+    error type.
+    """
+
+    def __init__(self, entries: tuple[tuple[str, str], ...], base: int = 1) -> None:
+        self.entries = tuple(entries)
+        self.base = base
+        self._field_index: dict[tuple[str, str], int] = {}
+        self._name_index: dict[str, int] = {}
+        for i, field in enumerate(self.entries):
+            self._field_index.setdefault(field, base + i)
+            self._name_index.setdefault(field[0], base + i)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self.entries)
+
+    def field_index(self, name: str, value: str) -> int | None:
+        """Wire index of a full (name, value) match, or ``None``."""
+        return self._field_index.get((name, value))
+
+    def name_index(self, name: str) -> int | None:
+        """Wire index of the first entry with this name, or ``None``."""
+        return self._name_index.get(name)
+
+    def lookup(self, index: int) -> tuple[str, str]:
+        """The entry at wire ``index``; raises :class:`IndexError`."""
+        position = index - self.base
+        if not 0 <= position < len(self.entries):
+            raise IndexError(
+                f"wire index {index} outside table "
+                f"[{self.base}, {self.base + len(self.entries) - 1}]"
+            )
+        return self.entries[position]
 
 
 #: The static table of RFC 7541 Appendix A (1-indexed on the wire).
@@ -80,12 +134,8 @@ STATIC_TABLE: tuple[tuple[str, str], ...] = (
     ("www-authenticate", ""),
 )
 
-#: (name, value) -> wire index for full matches.
-_FIELD_INDEX = {field: i + 1 for i, field in enumerate(STATIC_TABLE)}
-#: name -> wire index of its first entry, for name-only matches.
-_NAME_INDEX: dict[str, int] = {}
-for _i, (_name, _value) in enumerate(STATIC_TABLE):
-    _NAME_INDEX.setdefault(_name, _i + 1)
+#: The static table behind the :class:`StaticTable` interface (base 1).
+HPACK_STATIC = StaticTable(STATIC_TABLE, base=1)
 
 
 # ---------------------------------------------------------------------------
@@ -165,13 +215,13 @@ class HPACKEncoder:
     def encode(self, headers: list[tuple[str, str]] | tuple) -> bytes:
         block = bytearray()
         for name, value in headers:
-            index = _FIELD_INDEX.get((name, value))
+            index = HPACK_STATIC.field_index(name, value)
             if index is not None:
                 encoded = encode_integer(index, 7)
                 encoded[0] |= 0x80  # indexed field: '1' pattern
                 block.extend(encoded)
                 continue
-            name_index = _NAME_INDEX.get(name)
+            name_index = HPACK_STATIC.name_index(name)
             if name_index is not None:
                 encoded = encode_integer(name_index, 4)  # '0000' pattern
                 block.extend(encoded)
@@ -218,6 +268,9 @@ class HPACKDecoder:
 
     @staticmethod
     def _lookup(index: int) -> tuple[str, str]:
-        if not 1 <= index <= len(STATIC_TABLE):
-            raise HPACKError(f"header index {index} outside the static table")
-        return STATIC_TABLE[index - 1]
+        try:
+            return HPACK_STATIC.lookup(index)
+        except IndexError:
+            raise HPACKError(
+                f"header index {index} outside the static table"
+            ) from None

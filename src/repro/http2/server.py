@@ -81,15 +81,19 @@ class HTTP2Server:
 
     def __init__(
         self,
-        network: SimulatedNetwork,
+        network: SimulatedNetwork | None = None,
         config: HTTP2ServerConfig | None = None,
         seed: int = 7,
     ) -> None:
         self.config = config or HTTP2ServerConfig()
         self._network = network
         self._seed = seed  # interface symmetry with the TCP/QUIC servers
-        self.endpoint: Endpoint = network.bind(self.config.host, self.config.port)
-        self.endpoint.handler = self._handle
+        # Standalone mode (network=None): a composed transport feeds bytes
+        # through :meth:`process_bytes` instead of a bound endpoint.
+        self.endpoint: Endpoint | None = None
+        if network is not None:
+            self.endpoint = network.bind(self.config.host, self.config.port)
+            self.endpoint.handler = self._handle
         self._encoder = HPACKEncoder()
         self._decoder = HPACKDecoder()
         self.state = ConnectionState.AWAIT_PREFACE
@@ -114,17 +118,29 @@ class HTTP2Server:
         self.last_request_headers = []
 
     def close(self) -> None:
-        self.endpoint.close()
+        if self.endpoint is not None:
+            self.endpoint.close()
 
     # ------------------------------------------------------------------
     # Byte-stream processing
     # ------------------------------------------------------------------
     def _handle(self, datagram: Datagram) -> None:
-        responses = self._process_bytes(datagram.payload)
-        if responses:
-            self.stats.frames_sent += len(responses)
-            payload = b"".join(frame.encode() for frame in responses)
+        payload = self.process_bytes(datagram.payload)
+        if payload:
             self.endpoint.send(payload, datagram.source)
+
+    def process_bytes(self, data: bytes) -> bytes:
+        """The transport-neutral entry point: request bytes -> response bytes.
+
+        Exactly the processing :meth:`_handle` performs on a datagram,
+        exposed so a composed transport can carry this server without a
+        network endpoint.
+        """
+        responses = self._process_bytes(data)
+        if not responses:
+            return b""
+        self.stats.frames_sent += len(responses)
+        return b"".join(frame.encode() for frame in responses)
 
     def _process_bytes(self, data: bytes) -> list[Frame]:
         if self.state is ConnectionState.CLOSED:

@@ -133,6 +133,7 @@ class SimulatedNetwork:
         self._queue: list[_ScheduledDelivery] = []
         self._sequence = 0
         self._next_ephemeral = EPHEMERAL_PORT_START
+        self._drop_next = 0
         self.stats = {"sent": 0, "delivered": 0, "lost": 0, "duplicated": 0}
 
     # ------------------------------------------------------------------
@@ -180,9 +181,28 @@ class SimulatedNetwork:
     # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------
+    def drop_next(self, count: int = 1) -> None:
+        """Deterministically drop the next ``count`` datagrams sent.
+
+        Unlike :attr:`LinkConfig.loss_rate` (probabilistic, RNG-driven)
+        this is an imperative fault-injection hook: the next ``count``
+        calls to :meth:`send` discard their datagram, regardless of link
+        configuration.  Scenario probes use it to place a loss at an
+        exact point in an exchange -- e.g. killing one QUIC packet of a
+        two-request flight to show HTTP/3's lack of head-of-line
+        blocking.
+        """
+        if count < 0:
+            raise ValueError(f"drop count must be non-negative: {count}")
+        self._drop_next += count
+
     def send(self, source: Address, destination: Address, payload: bytes) -> None:
         """Apply link impairments and schedule delivery."""
         self.stats["sent"] += 1
+        if self._drop_next:
+            self._drop_next -= 1
+            self.stats["lost"] += 1
+            return
         if self._rng.random() < self.config.loss_rate:
             self.stats["lost"] += 1
             return

@@ -33,7 +33,7 @@ the same decorator::
 from __future__ import annotations
 
 import inspect
-from typing import Callable, Generic, Iterator, Mapping, TypeVar
+from typing import Callable, Generic, Iterator, Mapping, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -186,6 +186,59 @@ def resolve_property_suite(target: str):
     return None
 
 
+def resolve_targets(
+    names: Sequence[str],
+    exact: bool = False,
+    allow_unknown: bool = False,
+) -> tuple[str, ...]:
+    """Expand target/family names into concrete SUL target keys.
+
+    The public form of the resolution rule the CLI commands share
+    (``properties``, ``difftest``, ``ci``):
+
+    * an exact registered key (``http2-buggy``) resolves to itself;
+    * a family stem with multiple members (``quic``) expands to all of
+      them -- unless the stem is *also* a registered target (``http2``,
+      ``tcp``) and appears alongside other names, in which case the
+      bare target wins (as the sole argument it still expands, which is
+      what ``repro difftest http2`` relies on);
+    * ``exact=True`` suppresses expansion entirely;
+    * duplicates arising from overlap (``quic quic-google``) collapse,
+      preserving first-mention order.
+
+    Unknown names raise :class:`RegistryError` listing every registered
+    target and family, or pass through verbatim with
+    ``allow_unknown=True`` (the CLI uses that to fall back to spec-file
+    paths).
+    """
+    load_builtins()
+    families = SUL_REGISTRY.families()
+    expanded: list[str] = []
+    for name in names:
+        is_family = len(families.get(name, ())) > 1
+        expand = (
+            not exact
+            and is_family
+            and (name not in SUL_REGISTRY or len(names) == 1)
+        )
+        if expand:
+            expanded.extend(families[name])
+        else:
+            expanded.append(name)
+    resolved = tuple(dict.fromkeys(expanded))
+    if not allow_unknown:
+        for name in resolved:
+            if name not in SUL_REGISTRY:
+                known = ", ".join(
+                    sorted(set(families) | set(SUL_REGISTRY.names()))
+                )
+                raise RegistryError(
+                    f"unknown SUL target {name!r} (not a registered "
+                    f"target or family); known: {known}"
+                )
+    return resolved
+
+
 def supported_kwargs(
     factory: Callable, params: Mapping[str, object]
 ) -> dict[str, object]:
@@ -230,6 +283,7 @@ def load_builtins() -> None:
     # it unset so the next call retries (and re-raises the real error)
     # instead of silently no-op'ing over half-populated registries.
     from .adapter import (  # noqa: F401
+        h3_adapter,
         http2_adapter,
         mealy_sul,
         quic_adapter,
@@ -237,6 +291,7 @@ def load_builtins() -> None:
         tcp_adapter,
     )
     from .analysis import (  # noqa: F401
+        h3_properties,
         http2_properties,
         quic_properties,
         tcp_properties,

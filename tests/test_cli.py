@@ -26,7 +26,7 @@ class TestParser:
 
     def test_rejects_unknown_target(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["learn", "http3"])
+            build_parser().parse_args(["learn", "spdy"])
 
     def test_registry_targets_accepted(self):
         args = build_parser().parse_args(["learn", "toy"])
@@ -148,7 +148,7 @@ class TestRunCommand:
 
     def test_run_unknown_target(self, capsys, tmp_path):
         spec_path = tmp_path / "unknown.json"
-        spec_path.write_text(json.dumps({"target": "http3"}))
+        spec_path.write_text(json.dumps({"target": "spdy"}))
         assert main(["run", str(spec_path)]) == 2
         assert "invalid spec" in capsys.readouterr().err
 

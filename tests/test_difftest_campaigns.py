@@ -19,7 +19,12 @@ from repro.analysis.difftest import (
     VERDICT_SELF,
 )
 from repro.analysis.equivalence import find_difference
-from repro.experiments import difftest_http2, difftest_quic, difftest_tcp
+from repro.experiments import (
+    difftest_http2,
+    difftest_http3,
+    difftest_quic,
+    difftest_tcp,
+)
 from repro.registry import SUL_REGISTRY, load_builtins
 
 
@@ -150,6 +155,49 @@ class TestHTTP2QuirkMatrix:
         assert not buggy.ok
         assert "http2-buggy properties:" in http2_matrix.render()
         assert "1 members violate properties" in http2_matrix.summary()
+
+
+class TestHTTP3QuirkMatrix:
+    @pytest.fixture(scope="class")
+    def http3_matrix(self):
+        return difftest_http3()
+
+    def test_goaway_teardown_flagged_with_minimized_witness(
+        self, http3_matrix
+    ):
+        """Acceptance: `repro difftest http3` pins the seeded quirk to
+        the 3-symbol drain witness."""
+        cell = http3_matrix.matrix.cell("http3", "http3-buggy")
+        assert cell.verdict == VERDICT_DIVERGE
+        assert cell.witness is not None
+        assert cell.witness_validated
+        assert [str(s) for s in cell.witness] == [
+            "SETTINGS",
+            "GOAWAY",
+            "HEADERS[FIN]",
+        ]
+        models = {run.spec.name: run.model for run in http3_matrix.runs}
+        exhaustive = find_difference(models["http3"], models["http3-buggy"])
+        assert exhaustive is not None
+        assert len(cell.witness) <= len(exhaustive)
+
+    def test_size_gap_visible_in_diff(self, http3_matrix):
+        diff = http3_matrix.diffs[("http3", "http3-buggy")]
+        assert diff.states_a == 10
+        assert diff.states_b == 7
+
+    def test_member_property_suites_run_alongside_cross_replay(
+        self, http3_matrix
+    ):
+        reports = {
+            run.spec.name: run.properties for run in http3_matrix.runs
+        }
+        assert reports["http3"] is not None and reports["http3"].ok
+        buggy = reports["http3-buggy"]
+        verdict = buggy.verdict("goaway-drain-rejects-new")
+        assert verdict.violated
+        assert verdict.minimized
+        assert "1 members violate properties" in http3_matrix.summary()
 
 
 class TestTCPAblationMatrix:

@@ -1,0 +1,226 @@
+"""Tests for the composed HTTP/3 target: alpha/gamma, registry, probes."""
+
+import pytest
+
+from repro.adapter.h3_adapter import build_http3_sul
+from repro.adapter.layered import LayeredSUL, StreamEvent
+from repro.core.alphabet import (
+    H3_EMPTY_OUTPUT,
+    deserialize_symbol,
+    parse_h3_output,
+    parse_h3_symbol,
+    parse_tcp_symbol,
+    serialize_symbol,
+)
+from repro.experiments import (
+    EXPECTED_H3_BUGGY_STATES,
+    EXPECTED_H3_STATES,
+    EXPECTED_H3_TRANSITIONS,
+    hol_blocking_probe,
+    learn_http3,
+    migration_probe,
+    resumption_probe,
+    run_http3_request,
+)
+from repro.registry import SUL_REGISTRY, load_builtins
+
+SETTINGS = parse_h3_symbol("SETTINGS")
+REQUEST = parse_h3_symbol("HEADERS[FIN]")
+GOAWAY = parse_h3_symbol("GOAWAY")
+
+
+class TestAbstraction:
+    def test_empty_exchange_is_the_nil_output(self):
+        sul = build_http3_sul()
+        try:
+            assert sul.app.abstract_events([]) is H3_EMPTY_OUTPUT
+            assert str(sul.app.abstract_events([])) == "{}"
+        finally:
+            sul.close()
+
+    def test_reset_events_render_as_rst(self):
+        sul = build_http3_sul()
+        try:
+            events = [StreamEvent(0, "reset", error_code=0x010B)]
+            assert str(sul.app.abstract_events(events)) == "{RST}"
+        finally:
+            sul.close()
+
+    def test_streams_render_sorted_by_id(self):
+        sul = build_http3_sul()
+        try:
+            events = [
+                StreamEvent(4, "reset", error_code=1),
+                StreamEvent(0, "reset", error_code=1),
+            ]
+            assert str(sul.app.abstract_events(events)) == "{RST,RST}"
+        finally:
+            sul.close()
+
+
+class TestSymbolCodec:
+    def test_symbol_roundtrip(self):
+        symbol = parse_h3_symbol("HEADERS[FIN]")
+        data = serialize_symbol(symbol)
+        assert data["kind"] == "h3"
+        assert deserialize_symbol(data) == symbol
+
+    def test_output_roundtrip(self):
+        output = parse_h3_output("{HEADERS+DATA[FIN],RST}")
+        data = serialize_symbol(output)
+        assert data["kind"] == "h3-output"
+        assert deserialize_symbol(data) == output
+
+    def test_empty_output_roundtrip(self):
+        assert deserialize_symbol(serialize_symbol(H3_EMPTY_OUTPUT)).is_empty
+
+
+class TestH3SUL:
+    def test_query_records_oracle_entry(self):
+        sul = build_http3_sul()
+        try:
+            outputs = sul.query((SETTINGS, REQUEST))
+            assert str(outputs[0]) == "{SETTINGS}"
+            assert str(outputs[1]) == "{HEADERS+DATA[FIN]}"
+            entry = sul.oracle_table.lookup((SETTINGS, REQUEST))
+            assert entry is not None
+            assert entry.steps[1].input_params["sid"] == 0
+        finally:
+            sul.close()
+
+    def test_determinism_across_queries(self):
+        sul = build_http3_sul()
+        try:
+            word = (SETTINGS, REQUEST, GOAWAY, REQUEST)
+            assert sul.query(word) == sul.query(word)
+        finally:
+            sul.close()
+
+    def test_foreign_symbol_rejected(self):
+        sul = build_http3_sul()
+        try:
+            with pytest.raises(TypeError):
+                sul.query((parse_tcp_symbol("SYN(?,?,0)"),))
+        finally:
+            sul.close()
+
+    def test_registry_targets_present(self):
+        load_builtins()
+        assert "http3" in SUL_REGISTRY
+        assert "http3-buggy" in SUL_REGISTRY
+
+    def test_spec_configurable_quirk(self):
+        sul = SUL_REGISTRY.create(
+            "http3", server_config={"goaway_teardown_bug": True}
+        )
+        try:
+            assert sul.server.config.goaway_teardown_bug
+        finally:
+            sul.close()
+
+    def test_quirk_flag_delegates_through_the_layers(self):
+        # `goaway_teardown_bug` is claimed by the app factory, and the
+        # `server` attribute read is delegated LayeredSUL -> app layer.
+        sul = build_http3_sul(goaway_teardown_bug=True)
+        try:
+            assert isinstance(sul, LayeredSUL)
+            assert sul.server.config.goaway_teardown_bug
+        finally:
+            sul.close()
+
+    def test_transport_claims_resumption(self):
+        sul = build_http3_sul(resumption=True)
+        try:
+            assert sul.transport.resumption
+        finally:
+            sul.close()
+
+    def test_unclaimed_param_rejected(self):
+        with pytest.raises(TypeError, match="rst_on_closed_bug"):
+            build_http3_sul(rst_on_closed_bug=True)
+
+    def test_goaway_quirk_divergence(self):
+        """The seeded quirk's minimized witness: after the drain
+        handshake a new request draws {RST} (conformant) vs {} (buggy)."""
+        word = (SETTINGS, GOAWAY, REQUEST)
+        conformant = build_http3_sul()
+        buggy = SUL_REGISTRY.create("http3-buggy")
+        try:
+            good = [str(o) for o in conformant.query(word)]
+            bad = [str(o) for o in buggy.query(word)]
+            assert good == ["{SETTINGS}", "{GOAWAY}", "{RST}"]
+            assert bad == ["{SETTINGS}", "{GOAWAY}", "{}"]
+        finally:
+            conformant.close()
+            buggy.close()
+
+
+class TestLearnedModels:
+    def test_pooled_equals_serial(self):
+        """Acceptance: workers=4 learns a byte-identical model."""
+        serial = learn_http3(workers=1)
+        pooled = learn_http3(workers=4)
+        try:
+            assert serial.model.states == pooled.model.states
+            assert serial.model.initial_state == pooled.model.initial_state
+            for state in serial.model.states:
+                for symbol in serial.model.input_alphabet:
+                    assert serial.model.step(state, symbol) == pooled.model.step(
+                        state, symbol
+                    )
+            assert serial.report.counterexamples == pooled.report.counterexamples
+            assert serial.report.sul_queries == pooled.report.sul_queries
+        finally:
+            serial.close()
+            pooled.close()
+
+    def test_ttt_and_lstar_agree(self):
+        """Acceptance: both learners converge to the same minimal machine."""
+        ttt = learn_http3(learner="ttt")
+        lstar = learn_http3(learner="lstar")
+        try:
+            assert ttt.model.num_states == EXPECTED_H3_STATES
+            assert ttt.model.num_transitions == EXPECTED_H3_TRANSITIONS
+            assert ttt.model.minimize().num_states == ttt.model.num_states
+            assert ttt.model.relabel().structurally_equal(lstar.model.relabel())
+        finally:
+            ttt.close()
+            lstar.close()
+
+    def test_buggy_model_collapses_drain_states(self):
+        buggy = learn_http3(goaway_teardown_bug=True)
+        try:
+            assert buggy.model.num_states == EXPECTED_H3_BUGGY_STATES
+            outputs = run_http3_request(buggy.model)
+            assert outputs[0] == ("SETTINGS", "{SETTINGS}")
+            assert outputs[1] == ("HEADERS[FIN]", "{HEADERS+DATA[FIN]}")
+        finally:
+            buggy.close()
+
+
+class TestScenarioProbes:
+    def test_no_head_of_line_blocking_distinguishes_h3(self):
+        """Acceptance: under one dropped datagram, H3 answers the
+        surviving request immediately while HTTP/2-over-the-pipe answers
+        neither until retransmission."""
+        result = hol_blocking_probe()
+        assert result["h3_first_exchange_answered"] == 1
+        assert result["h2_first_exchange_answered"] == 0
+        assert result["h3_after_recovery_answered"] == 2
+        assert result["h2_after_recovery_answered"] == 2
+
+    def test_migration_keeps_answering(self):
+        result = migration_probe()
+        assert result["answered_after_migration"]
+        assert result["port_changed"]
+        assert result["migrations"] == 1
+        assert result["handshake_rounds"] == 1
+
+    def test_resumption_skips_a_round(self):
+        result = resumption_probe()
+        assert result["zero_rtt"]
+        assert result["second_response"] == result["first_response"] != "{}"
+        assert result["second_connection_rounds"] < result[
+            "first_connection_rounds"
+        ]
+        assert result["handshake_rounds"] == 1

@@ -1,0 +1,126 @@
+"""Tests for the HTTP/3 frame codec: round-trips and chunked decoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.h3.frames import (
+    H3Frame,
+    H3FrameDecoder,
+    H3FrameError,
+    H3FrameType,
+    data_frame,
+    goaway_frame,
+    headers_frame,
+    max_push_id_frame,
+    parse_goaway,
+    parse_settings,
+    settings_frame,
+)
+
+
+class TestFrameEncoding:
+    def test_encode_is_type_length_payload(self):
+        frame = data_frame(b"hello")
+        assert frame.encode() == b"\x00\x05hello"
+
+    def test_empty_payload(self):
+        assert settings_frame().encode() == b"\x04\x00"
+
+    def test_kind_names(self):
+        assert headers_frame(b"").kind == "HEADERS"
+        assert goaway_frame(0).kind == "GOAWAY"
+        assert max_push_id_frame(3).kind == "MAX_PUSH_ID"
+
+    def test_unknown_type_kind(self):
+        assert H3Frame(0x21, b"").kind == "UNKNOWN_0x21"
+
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            data_frame(b"body-bytes"),
+            headers_frame(b"\x00\x00\xd1"),
+            settings_frame({0x01: 0, 0x06: 16384}),
+            goaway_frame(8),
+            max_push_id_frame(77),
+            H3Frame(0x4040, b"greased"),  # an unknown (GREASE-like) type
+        ],
+    )
+    def test_roundtrip(self, frame):
+        decoded = H3FrameDecoder().feed(frame.encode())
+        assert decoded == [frame]
+
+
+class TestFrameDecoder:
+    def test_multiple_frames_in_one_feed(self):
+        wire = data_frame(b"a").encode() + headers_frame(b"b").encode()
+        frames = H3FrameDecoder().feed(wire)
+        assert [f.kind for f in frames] == ["DATA", "HEADERS"]
+
+    def test_byte_at_a_time_chunked_feed(self):
+        wire = settings_frame({0x01: 0}).encode() + data_frame(b"xyz").encode()
+        decoder = H3FrameDecoder()
+        frames = []
+        for i in range(len(wire)):
+            frames.extend(decoder.feed(wire[i : i + 1]))
+        assert [f.kind for f in frames] == ["SETTINGS", "DATA"]
+        assert frames[1].payload == b"xyz"
+        assert decoder.buffered == 0
+
+    def test_partial_frame_stays_buffered(self):
+        wire = data_frame(b"0123456789").encode()
+        decoder = H3FrameDecoder()
+        assert decoder.feed(wire[:4]) == []
+        assert decoder.buffered == 4
+        assert decoder.feed(wire[4:]) == [data_frame(b"0123456789")]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        frames=st.lists(
+            st.tuples(
+                st.sampled_from(
+                    [int(t) for t in H3FrameType] + [0x21, 0x4040]
+                ),
+                st.binary(max_size=40),
+            ),
+            max_size=6,
+        ),
+        chunk=st.integers(min_value=1, max_value=7),
+    )
+    def test_hypothesis_chunked_roundtrip(self, frames, chunk):
+        originals = [H3Frame(t, payload) for t, payload in frames]
+        wire = b"".join(f.encode() for f in originals)
+        decoder = H3FrameDecoder()
+        decoded = []
+        for i in range(0, len(wire), chunk):
+            decoded.extend(decoder.feed(wire[i : i + chunk]))
+        assert decoded == originals
+        assert decoder.buffered == 0
+
+
+class TestPayloadParsers:
+    def test_parse_settings_roundtrip(self):
+        table = {0x01: 0, 0x06: 16384, 0x4040: 99}
+        assert parse_settings(settings_frame(table)) == table
+
+    def test_parse_settings_rejects_wrong_type(self):
+        with pytest.raises(H3FrameError):
+            parse_settings(data_frame(b""))
+
+    def test_parse_settings_rejects_truncation(self):
+        with pytest.raises(H3FrameError):
+            parse_settings(H3Frame(H3FrameType.SETTINGS, b"\x01"))
+
+    def test_parse_goaway_roundtrip(self):
+        assert parse_goaway(goaway_frame(12)) == 12
+
+    def test_parse_goaway_rejects_wrong_type(self):
+        with pytest.raises(H3FrameError):
+            parse_goaway(settings_frame())
+
+    def test_parse_goaway_rejects_trailing_bytes(self):
+        with pytest.raises(H3FrameError):
+            parse_goaway(H3Frame(H3FrameType.GOAWAY, b"\x04\xff"))
+
+    def test_parse_goaway_rejects_empty(self):
+        with pytest.raises(H3FrameError):
+            parse_goaway(H3Frame(H3FrameType.GOAWAY, b""))

@@ -1,0 +1,162 @@
+"""Tests for the static-table QPACK codec and the shared HPACK primitives.
+
+QPACK deliberately reuses the RFC 7541 integer/string codecs through the
+:class:`~repro.http2.hpack.StaticTable` interface, so alongside the
+QPACK round-trips this file pins the HPACK side byte-identical -- the
+satellite guarantee that growing the shared seam changed nothing for
+HTTP/2.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.h3.qpack import (
+    QPACK_STATIC,
+    QPACK_STATIC_ENTRIES,
+    QPACKDecoder,
+    QPACKEncoder,
+    QPACKError,
+)
+from repro.http2.hpack import HPACK_STATIC, HPACKEncoder, StaticTable
+
+#: Printable-ASCII header text without the codec's structural characters.
+_text = st.text(
+    alphabet=st.characters(min_codepoint=0x21, max_codepoint=0x7E),
+    min_size=0,
+    max_size=24,
+)
+
+
+class TestStaticTable:
+    def test_has_99_entries_indexed_from_zero(self):
+        assert len(QPACK_STATIC_ENTRIES) == 99
+        assert QPACK_STATIC.lookup(0) == (":authority", "")
+        assert QPACK_STATIC.lookup(17) == (":method", "GET")
+        assert QPACK_STATIC.lookup(98) == ("x-frame-options", "sameorigin")
+
+    def test_out_of_range_lookup(self):
+        with pytest.raises(IndexError):
+            QPACK_STATIC.lookup(99)
+
+    def test_field_and_name_indexes(self):
+        assert QPACK_STATIC.field_index(":status", "200") == 25
+        assert QPACK_STATIC.field_index(":status", "999") is None
+        assert QPACK_STATIC.name_index(":status") is not None
+        assert QPACK_STATIC.name_index("x-no-such-header") is None
+
+    def test_hpack_table_shares_the_interface_at_base_1(self):
+        assert isinstance(HPACK_STATIC, StaticTable)
+        assert HPACK_STATIC.lookup(1) == (":authority", "")
+        assert HPACK_STATIC.lookup(2) == (":method", "GET")
+        with pytest.raises(IndexError):
+            HPACK_STATIC.lookup(0)
+
+
+class TestRoundTrips:
+    def test_fully_indexed(self):
+        headers = [(":method", "GET"), (":scheme", "https"), (":status", "200")]
+        wire = QPACKEncoder().encode(headers)
+        assert QPACKDecoder().decode(wire) == headers
+
+    def test_name_reference_literal(self):
+        headers = [(":status", "999"), ("content-type", "text/x-custom")]
+        wire = QPACKEncoder().encode(headers)
+        assert QPACKDecoder().decode(wire) == headers
+
+    def test_literal_name(self):
+        headers = [("x-custom-header", "v1"), ("x-empty", "")]
+        wire = QPACKEncoder().encode(headers)
+        assert QPACKDecoder().decode(wire) == headers
+
+    def test_empty_section_is_just_the_prefix(self):
+        wire = QPACKEncoder().encode([])
+        assert wire == b"\x00\x00"
+        assert QPACKDecoder().decode(wire) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(headers=st.lists(st.tuples(_text.filter(bool), _text), max_size=8))
+    def test_hypothesis_roundtrip(self, headers):
+        wire = QPACKEncoder().encode(headers)
+        assert QPACKDecoder().decode(wire) == headers
+
+    @settings(max_examples=30, deadline=None)
+    @given(sample=st.lists(st.sampled_from(QPACK_STATIC_ENTRIES), max_size=10))
+    def test_hypothesis_static_entries_roundtrip(self, sample):
+        wire = QPACKEncoder().encode(sample)
+        assert QPACKDecoder().decode(wire) == sample
+
+
+class TestDecoderRejections:
+    def test_nonzero_required_insert_count(self):
+        with pytest.raises(QPACKError):
+            QPACKDecoder().decode(b"\x01\x00")
+
+    def test_nonzero_base_and_sign_bit(self):
+        with pytest.raises(QPACKError):
+            QPACKDecoder().decode(b"\x00\x01\xc1")
+        with pytest.raises(QPACKError):
+            QPACKDecoder().decode(b"\x00\x80")
+
+    def test_truncated_prefix(self):
+        with pytest.raises(QPACKError):
+            QPACKDecoder().decode(b"")
+        with pytest.raises(QPACKError):
+            QPACKDecoder().decode(b"\x00")
+
+    def test_dynamic_table_index_rejected(self):
+        # '1' indexed with T=0: a dynamic-table reference.
+        with pytest.raises(QPACKError):
+            QPACKDecoder().decode(b"\x00\x00\x81")
+
+    def test_dynamic_name_reference_rejected(self):
+        # '01' literal-with-name-ref with T=0.
+        with pytest.raises(QPACKError):
+            QPACKDecoder().decode(b"\x00\x00\x41\x00")
+
+    def test_huffman_name_rejected(self):
+        with pytest.raises(QPACKError):
+            QPACKDecoder().decode(b"\x00\x00\x29abc\x00")
+
+    def test_post_base_rejected(self):
+        with pytest.raises(QPACKError):
+            QPACKDecoder().decode(b"\x00\x00\x10")
+
+    def test_index_outside_static_table(self):
+        wire = bytearray(b"\x00\x00")
+        wire.extend(b"\xff\x64")  # indexed static line, index 99+
+        with pytest.raises(QPACKError):
+            QPACKDecoder().decode(bytes(wire))
+
+    def test_name_literal_overrun(self):
+        with pytest.raises(QPACKError):
+            QPACKDecoder().decode(b"\x00\x00\x27abc")
+
+
+class TestHPACKGoldenBytes:
+    """Growing hpack.py into a shared seam must not move HTTP/2 bytes."""
+
+    def test_request_header_block_byte_identical(self):
+        # The HTTP/2 reference client's standard request headers, as
+        # encoded before the StaticTable refactor (captured golden).
+        block = HPACKEncoder().encode(
+            [
+                (":method", "GET"),
+                (":path", "/"),
+                (":scheme", "http"),
+                (":authority", "h2server"),
+            ]
+        )
+        assert block.hex() == "82848601086832736572766572"
+
+    def test_qpack_request_section_stable(self):
+        # The HTTP/3 client's standard request headers: pins the wire
+        # image the learned http3 model was measured against.
+        section = QPACKEncoder().encode(
+            [
+                (":method", "GET"),
+                (":scheme", "https"),
+                (":authority", "h3client.example"),
+                (":path", "/"),
+            ]
+        )
+        assert section.hex() == "0000d1d750106833636c69656e742e6578616d706c65c1"

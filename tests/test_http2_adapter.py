@@ -110,6 +110,31 @@ class TestHTTP2AdapterSUL:
         sul.close()
 
 
+class TestComposedIdentity:
+    def test_composed_stack_learns_the_monolithic_model(self):
+        """Satellite guarantee: migrating ``http2`` onto
+        ``compose(ReliableByteTransport, build_http2_app)`` left the
+        learned model byte-identical to the monolithic adapter's."""
+        from repro.core.mealy import behavior_fingerprint
+        from repro.framework import Prognosis
+
+        composed = learn_http2()
+        with Prognosis(
+            sul=HTTP2AdapterSUL(),
+            learner="ttt",
+            equivalence="wmethod",
+            extra_states=1,
+            name="http2-monolithic",
+        ) as monolithic:
+            model = monolithic.learn().model
+            assert model.num_states == composed.model.num_states == 5
+            assert model.relabel().structurally_equal(composed.model.relabel())
+            assert behavior_fingerprint(model) == behavior_fingerprint(
+                composed.model
+            )
+        composed.close()
+
+
 class TestLearnedModels:
     def test_pooled_equals_serial(self):
         """Acceptance: workers=4 learns a byte-identical model (like the

@@ -1,0 +1,254 @@
+"""Tests for the layered-adapter API: transports, composition, delegation.
+
+The transports are exercised against a tiny echo app so every behavior
+(ARQ recovery, in-order delivery, stream independence, migration, 0-RTT)
+is pinned below the protocol layers that ride them.
+"""
+
+import pytest
+
+from repro.adapter.layered import (
+    AppLayer,
+    LayeredSUL,
+    QuicStreamTransport,
+    ReliableByteTransport,
+    StreamEvent,
+    Transport,
+    TransportError,
+    compose,
+)
+from repro.core.alphabet import Alphabet, TCPSymbol
+from repro.netsim import LinkConfig
+
+
+def _echo_server(transport: Transport) -> None:
+    """Attach a handler echoing each data event back with an ``ok:`` prefix."""
+
+    def handler(event: StreamEvent):
+        if event.kind != "data":
+            return [
+                StreamEvent(
+                    stream_id=event.stream_id,
+                    kind="reset",
+                    error_code=event.error_code,
+                )
+            ]
+        return [
+            StreamEvent(
+                stream_id=event.stream_id,
+                kind="data",
+                data=b"ok:" + event.data,
+                fin=event.fin,
+            )
+        ]
+
+    transport.set_server(handler)
+
+
+class TestReliableByteTransport:
+    def test_roundtrip_on_perfect_link(self):
+        transport = ReliableByteTransport(seed=1)
+        _echo_server(transport)
+        transport.reset()
+        transport.send(0, b"hello")
+        events = transport.exchange()
+        assert events == [StreamEvent(0, "data", b"ok:hello")]
+        transport.close()
+
+    def test_single_stream_only(self):
+        transport = ReliableByteTransport(seed=1)
+        with pytest.raises(TransportError):
+            transport.send(4, b"x")
+        with pytest.raises(TransportError):
+            transport.send(0, b"x", fin=True)
+        with pytest.raises(TransportError):
+            transport.reset_stream(0)
+        transport.close()
+
+    def test_head_of_line_blocking_then_recovery(self):
+        """A lost first segment stalls the delivered second one."""
+        transport = ReliableByteTransport(seed=1)
+        _echo_server(transport)
+        transport.reset()
+        # Two segments in one flight; the first datagram is dropped.
+        transport.send(0, b"first")
+        transport.send(0, b"second")
+        transport.network.drop_next(1)
+        # In-order delivery: nothing can be served past the gap.
+        assert transport.exchange(max_rounds=1) == []
+        # The next exchange retransmits everything unacked and recovers;
+        # the byte stream is delivered contiguously, as one reassembled
+        # chunk (both segments served together).
+        events = transport.exchange()
+        assert events == [StreamEvent(0, "data", b"ok:firstsecond")]
+        transport.close()
+
+    def test_recovery_under_random_loss(self):
+        transport = ReliableByteTransport(
+            seed=3, link=LinkConfig(loss_rate=0.3)
+        )
+        _echo_server(transport)
+        for _ in range(10):
+            transport.reset()
+            transport.send(0, b"payload")
+            collected = b""
+            for _ in range(20):
+                for event in transport.exchange():
+                    collected += event.data
+                if collected:
+                    break
+            assert collected == b"ok:payload"
+        transport.close()
+
+    def test_server_cannot_send_resets(self):
+        transport = ReliableByteTransport(seed=1)
+        transport.set_server(
+            lambda event: [StreamEvent(0, "reset", error_code=1)]
+        )
+        transport.reset()
+        transport.send(0, b"x")
+        with pytest.raises(TransportError):
+            transport.exchange()
+        transport.close()
+
+
+class TestQuicStreamTransport:
+    def test_roundtrip_with_fin(self):
+        transport = QuicStreamTransport(seed=2)
+        _echo_server(transport)
+        transport.reset()
+        transport.send(0, b"req", fin=True)
+        events = transport.exchange()
+        assert events == [StreamEvent(0, "data", b"ok:req", fin=True)]
+        transport.close()
+
+    def test_streams_deliver_independently_under_loss(self):
+        """Loss on one stream's packet never stalls another stream."""
+        transport = QuicStreamTransport(seed=2)
+        _echo_server(transport)
+        transport.reset()
+        transport.send(0, b"alpha", fin=True)
+        transport.send(4, b"beta", fin=True)
+        transport.network.drop_next(1)  # kills stream 0's packet
+        first = transport.exchange()
+        assert [e.stream_id for e in first] == [4]
+        assert first[0].data == b"ok:beta"
+        # Stream 0 recovers by retransmission on the next exchange.
+        second = transport.exchange()
+        assert [e.stream_id for e in second] == [0]
+        assert second[0].data == b"ok:alpha"
+        transport.close()
+
+    def test_reset_stream_travels_both_ways(self):
+        transport = QuicStreamTransport(seed=2)
+        _echo_server(transport)  # echoes resets back
+        transport.reset()
+        transport.reset_stream(0, error_code=7)
+        events = transport.exchange()
+        assert events == [StreamEvent(0, "reset", error_code=7)]
+        transport.close()
+
+    def test_migration_keeps_the_connection(self):
+        transport = QuicStreamTransport(seed=2)
+        _echo_server(transport)
+        transport.reset()
+        transport.send(0, b"before", fin=True)
+        assert transport.exchange()[0].data == b"ok:before"
+        old_port = transport._endpoint.address[1]
+        transport.migrate()
+        assert transport._endpoint.address[1] != old_port
+        assert transport.stats["migrations"] == 1
+        transport.send(4, b"after", fin=True)
+        events = transport.exchange()
+        assert events[0].data == b"ok:after"
+        # No new handshake happened for the migrated traffic.
+        assert transport.stats["handshake_rounds"] == 1
+        transport.close()
+
+    def test_resumption_skips_the_handshake_round(self):
+        transport = QuicStreamTransport(seed=2, resumption=True)
+        _echo_server(transport)
+        transport.reset()  # first connection: no ticket yet, full handshake
+        transport.send(0, b"one", fin=True)
+        assert transport.exchange()[0].data == b"ok:one"
+        first_rounds = transport.last_connection_rounds
+        transport.reset()  # second connection: ticket-armed 0-RTT
+        transport.send(0, b"two", fin=True)
+        assert transport.exchange()[0].data == b"ok:two"
+        assert transport.last_connection_rounds < first_rounds
+        assert transport.stats["handshake_rounds"] == 1
+        transport.close()
+
+    def test_unauthenticated_stray_packet_dropped(self):
+        """Without a hello or valid ticket the server admits nothing."""
+        transport = QuicStreamTransport(seed=2)
+        _echo_server(transport)
+        transport.reset()
+        # Forge a fresh connection id without handshaking it.
+        transport._conn.cid = b"\x00" * 8
+        transport._conn.handshaken = True
+        transport.send(0, b"stray", fin=True)
+        assert transport.exchange() == []
+        transport.close()
+
+    def test_feature_flags(self):
+        assert QuicStreamTransport.independent_streams
+        assert QuicStreamTransport.supports_migration
+        assert QuicStreamTransport.supports_resumption
+        assert not ReliableByteTransport.independent_streams
+        assert not ReliableByteTransport.supports_migration
+
+
+# ---------------------------------------------------------------------------
+# Composition
+# ---------------------------------------------------------------------------
+
+class _ProbeApp(AppLayer):
+    """Minimal app recording what the composition machinery hands it."""
+
+    name = "probe"
+
+    def __init__(self, transport: Transport, seed: int = 0) -> None:
+        self.alphabet = Alphabet.of([TCPSymbol.make(("SYN",))])
+        self.transport = transport
+        self.seed = seed
+        self.resets = 0
+
+    def reset(self) -> None:
+        self.resets += 1
+
+    def step(self, symbol):
+        return symbol, {}, {}
+
+
+def _probe_app(transport: Transport, seed: int = 0) -> _ProbeApp:
+    return _ProbeApp(transport, seed=seed)
+
+
+class TestCompose:
+    def test_params_split_by_signature(self):
+        factory = compose(QuicStreamTransport, _probe_app, name="probe")
+        sul = factory(seed=5, resumption=True)
+        assert isinstance(sul, LayeredSUL)
+        assert sul.transport.resumption  # claimed by the transport
+        assert sul.app.seed == 5  # `seed` accepted by both layers
+        sul.close()
+
+    def test_unclaimed_param_raises(self):
+        factory = compose(QuicStreamTransport, _probe_app, name="probe")
+        with pytest.raises(TypeError, match="no_such_option"):
+            factory(no_such_option=1)
+
+    def test_attribute_delegation_to_app(self):
+        sul = compose(ReliableByteTransport, _probe_app, name="probe")()
+        assert sul.resets == 0  # forwarded to the app layer
+        sul.reset()
+        assert sul.resets == 1
+        with pytest.raises(AttributeError):
+            sul.nonexistent_attribute
+        sul.close()
+
+    def test_sul_name_comes_from_compose(self):
+        sul = compose(ReliableByteTransport, _probe_app, name="probe-x")()
+        assert sul.name == "probe-x"
+        sul.close()

@@ -153,6 +153,32 @@ class TestImpairments:
         assert run(7) == run(7)
         assert run(7) != run(8)
 
+    def test_drop_next_kills_exactly_n_datagrams(self):
+        # Deterministic imperative loss, independent of the link config.
+        network = SimulatedNetwork()  # perfect link
+        a = network.bind("h", 1)
+        b = network.bind("h", 2)
+        network.drop_next(2)
+        for i in range(4):
+            a.send(bytes([i]), b.address)
+        network.run()
+        assert [d.payload for d in b.receive_all()] == [b"\x02", b"\x03"]
+        assert network.stats["lost"] == 2
+        assert network.stats["sent"] == 4
+
+    def test_drop_next_accumulates_and_rejects_negatives(self):
+        network = SimulatedNetwork()
+        a = network.bind("h", 1)
+        b = network.bind("h", 2)
+        network.drop_next()
+        network.drop_next()  # repeated calls accumulate
+        for i in range(3):
+            a.send(bytes([i]), b.address)
+        network.run()
+        assert [d.payload for d in b.receive_all()] == [b"\x02"]
+        with pytest.raises(ValueError):
+            network.drop_next(-1)
+
     def test_jitter_can_reorder(self):
         network = SimulatedNetwork(seed=3, config=LinkConfig(latency=0.01, jitter=0.5))
         a = network.bind("h", 1)

@@ -10,6 +10,7 @@ from repro.registry import (
     RegistryError,
     SUL_REGISTRY,
     load_builtins,
+    resolve_targets,
     supported_kwargs,
 )
 
@@ -103,6 +104,57 @@ class TestFamilies:
             "tcp-handshake",
             "tcp-no-challenge-ack",
         )
+
+
+class TestResolveTargets:
+    def test_exact_key_resolves_to_itself(self):
+        assert resolve_targets(["http2-buggy"]) == ("http2-buggy",)
+
+    def test_family_stem_expands_to_members(self):
+        assert resolve_targets(["quic"]) == (
+            "quic-google",
+            "quic-mvfst",
+            "quic-quiche",
+        )
+
+    def test_sole_registered_stem_still_expands(self):
+        # `repro difftest http3` relies on the bare stem expanding when
+        # it is the only argument, even though `http3` is itself a key.
+        assert resolve_targets(["http3"]) == ("http3", "http3-buggy")
+
+    def test_registered_stem_beside_others_stays_bare(self):
+        assert resolve_targets(["http3", "tcp-handshake"]) == (
+            "http3",
+            "tcp-handshake",
+        )
+
+    def test_exact_mode_suppresses_expansion(self):
+        assert resolve_targets(["http3"], exact=True) == ("http3",)
+
+    def test_overlapping_names_dedupe_in_first_mention_order(self):
+        assert resolve_targets(["quic", "quic-google"]) == (
+            "quic-google",
+            "quic-mvfst",
+            "quic-quiche",
+        )
+
+    def test_unknown_target_lists_targets_and_families(self):
+        with pytest.raises(RegistryError) as err:
+            resolve_targets(["spdy"])
+        message = str(err.value)
+        assert "spdy" in message
+        assert "http3" in message
+        assert "quic" in message  # families offered alongside exact keys
+
+    def test_bare_family_stem_in_exact_mode_is_unknown(self):
+        # `quic` is only a stem, never a registered key.
+        with pytest.raises(RegistryError):
+            resolve_targets(["quic"], exact=True)
+
+    def test_allow_unknown_passes_names_through(self):
+        assert resolve_targets(
+            ["specs/custom.json"], allow_unknown=True
+        ) == ("specs/custom.json",)
 
 
 class TestBuiltins:
