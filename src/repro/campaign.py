@@ -99,6 +99,8 @@ class RunResult:
             f"{report.sul_queries} SUL queries, "
             f"{report.cache_hit_rate:.0%} cache hits"
         )
+        if self.spec.corpus is not None:
+            text += f", {report.corpus_hit_rate:.0%} corpus hits"
         if self.properties is not None:
             counts = self.properties.counts()
             text += (
@@ -250,7 +252,7 @@ class Campaign:
             spec.validate()
             shared = None
             if self.share_cache and any(
-                m.kind in ("cache", "store") for m in spec.middleware
+                m.kind in ("cache", "store", "passive") for m in spec.middleware
             ):
                 shared = self._warm_cache(spec.sul_fingerprint())
             properties_report = None

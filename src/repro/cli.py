@@ -11,6 +11,10 @@ Gives the framework the shape of a releasable tool:
   ``properties.json`` verdict artifacts with minimized witnesses
 * ``issues``     -- reproduce one of the paper's four findings
 * ``run``        -- execute a declarative experiment spec (JSON file)
+* ``passive``    -- bulk-trace passive learning: fold a JSONL session
+  corpus into a partial Mealy machine (hardened RPNI), then actively
+  refine the undetermined cells through the oracle stack; ``--generate``
+  / ``--full`` produce corpora from a registered target first
 * ``sweep``      -- run a campaign grid: targets x learners x seeds
 * ``difftest``   -- differential conformance campaign over a target family:
   learn every implementation, cross-replay every model-derived suite,
@@ -299,6 +303,69 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_passive(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .learn.bulk import (
+        bulk_passive_learn,
+        generate_corpus,
+        record_full_corpus,
+    )
+    from .spec import ExperimentSpec, SpecError
+
+    if args.generate is not None and args.full:
+        print("--generate and --full are mutually exclusive", file=sys.stderr)
+        return 2
+    spec = ExperimentSpec(
+        target=args.target,
+        learner=args.learner,
+        seed=args.seed,
+        middleware=["cache"],
+        corpus=args.corpus,
+        store=args.store,
+        executor=_executor_spec(args.executor),
+    )
+    try:
+        spec.validate()
+    except (SpecError, KeyError) as error:
+        print(f"invalid configuration: {error}", file=sys.stderr)
+        return 2
+    if args.generate is not None:
+        count = generate_corpus(
+            spec, args.corpus,
+            num_sessions=args.generate, max_len=args.gen_max_len,
+        )
+        print(f"generated {count} session traces -> {args.corpus}")
+    elif args.full:
+        count = record_full_corpus(spec, args.corpus)
+        print(f"recorded covering corpus ({count} observations) -> {args.corpus}")
+    elif not os.path.exists(args.corpus):
+        print(
+            f"no corpus at {args.corpus} "
+            "(use --generate N or --full to create one)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        result = bulk_passive_learn(spec, refine=not args.no_refine)
+    except ValueError as error:  # corpus format errors, strict conflicts
+        print(f"passive run failed: {error}", file=sys.stderr)
+        return 1
+    print(result.summary())
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        with open(os.path.join(args.out, "passive.json"), "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        if result.model is not None:
+            with open(os.path.join(args.out, "model.json"), "w") as handle:
+                json.dump(result.model.to_dict(), handle, indent=2, sort_keys=True)
+            with open(os.path.join(args.out, "model.dot"), "w") as handle:
+                handle.write(result.model.to_dot())
+        print(f"artifacts: {args.out}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .campaign import Campaign
 
@@ -574,6 +641,51 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--executor", **executor_kwargs)
     run.add_argument("--store", **store_kwargs)
     run.set_defaults(func=_cmd_run)
+
+    passive = sub.add_parser(
+        "passive",
+        help="bulk-trace passive learning: fold a corpus, actively refine",
+    )
+    passive.add_argument("target", choices=targets)
+    passive.add_argument(
+        "--corpus",
+        required=True,
+        metavar="PATH",
+        help="JSONL trace corpus, one "
+        '{"inputs": [...], "outputs": [...]} object per line',
+    )
+    passive.add_argument("--learner", choices=learners, default="ttt")
+    passive.add_argument("--seed", type=int, default=0)
+    passive.add_argument(
+        "--generate",
+        type=int,
+        default=None,
+        metavar="N",
+        help="first random-walk N sessions of the target into the corpus file",
+    )
+    passive.add_argument(
+        "--gen-max-len",
+        type=int,
+        default=8,
+        help="maximum session length for --generate (default 8)",
+    )
+    passive.add_argument(
+        "--full",
+        action="store_true",
+        help="first record a covering corpus (one active run's whole "
+        "observation set); refinement then needs zero SUL resets",
+    )
+    passive.add_argument(
+        "--no-refine",
+        action="store_true",
+        help="stop at the partial (passive-only) machine",
+    )
+    passive.add_argument("--executor", **executor_kwargs)
+    passive.add_argument("--store", **store_kwargs)
+    passive.add_argument(
+        "--out", help="write passive.json/model.json/model.dot artifacts here"
+    )
+    passive.set_defaults(func=_cmd_passive)
 
     sweep = sub.add_parser(
         "sweep", help="run a campaign grid: targets x learners x seeds"

@@ -64,6 +64,13 @@ class LearningReport:
     store_hits: int = 0
     #: ``store_hits`` over all membership queries.
     store_hit_rate: float = 0.0
+    #: Membership queries answered by bulk-corpus observations
+    #: (0 without a ``corpus`` section; see :mod:`repro.learn.bulk`).
+    corpus_hits: int = 0
+    #: ``corpus_hits`` over all membership queries.
+    corpus_hit_rate: float = 0.0
+    #: Nondeterministic corpus traces skipped during seeding.
+    corpus_skipped: int = 0
     #: Per-equivalence-oracle accounting: words submitted and
     #: counterexamples found, keyed by oracle name.
     eq_attribution: dict[str, dict[str, int]] = field(default_factory=dict)
@@ -110,6 +117,9 @@ class LearningReport:
             "workers": self.workers,
             "store_hits": self.store_hits,
             "store_hit_rate": self.store_hit_rate,
+            "corpus_hits": self.corpus_hits,
+            "corpus_hit_rate": self.corpus_hit_rate,
+            "corpus_skipped": self.corpus_skipped,
             "eq_attribution": {
                 name: dict(stats) for name, stats in self.eq_attribution.items()
             },
@@ -322,6 +332,9 @@ class Prognosis:
             workers=self.workers,
             store_hits=getattr(self.cache_oracle, "store_hits", 0),
             store_hit_rate=getattr(self.cache_oracle, "store_hit_rate", 0.0),
+            corpus_hits=getattr(self.cache_oracle, "corpus_hits", 0),
+            corpus_hit_rate=getattr(self.cache_oracle, "corpus_hit_rate", 0.0),
+            corpus_skipped=getattr(self.cache_oracle, "corpus_skipped", 0),
             eq_attribution=self.equivalence_oracle.attribution(),
         )
 

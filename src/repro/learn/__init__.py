@@ -1,5 +1,20 @@
 """The learning module: MAT oracles, caches, L*, TTT, equivalence testing."""
 
+from .bulk import (
+    BulkLearnResult,
+    CorpusConflict,
+    CorpusFormatError,
+    CorpusSeededCache,
+    CorpusStats,
+    bulk_passive_learn,
+    generate_corpus,
+    load_corpus_cache,
+    log_sessions,
+    read_jsonl_corpus,
+    record_full_corpus,
+    seed_oracle_from_corpus,
+    write_jsonl_corpus,
+)
 from .cache import CacheInconsistencyError, CachedMembershipOracle, QueryCache
 from .counterexample import Decomposition, rivest_schapire
 from .equivalence import (
@@ -17,7 +32,14 @@ from .nondeterminism import (
     estimate_response_distribution,
 )
 from .observation_table import ObservationTable
-from .passive import PartialMealyMachine, rpni_mealy, seed_cache_from_traces
+from .passive import (
+    PartialMealyMachine,
+    TraceConflictError,
+    fold_prefix_tree,
+    prefix_tree_from_cache,
+    rpni_mealy,
+    seed_cache_from_traces,
+)
 from .teacher import (
     CountingOracle,
     EquivalenceOracle,
@@ -30,9 +52,14 @@ from .teacher import (
 from .ttt import DiscriminationTree, TTTLearner
 
 __all__ = [
+    "BulkLearnResult",
     "CacheInconsistencyError",
     "CachedMembershipOracle",
     "ChainedEquivalenceOracle",
+    "CorpusConflict",
+    "CorpusFormatError",
+    "CorpusSeededCache",
+    "CorpusStats",
     "CountingOracle",
     "Decomposition",
     "DiscriminationTree",
@@ -52,11 +79,22 @@ __all__ = [
     "RandomWordEquivalenceOracle",
     "SULMembershipOracle",
     "TTTLearner",
+    "TraceConflictError",
     "WMethodEquivalenceOracle",
+    "bulk_passive_learn",
     "estimate_response_distribution",
+    "fold_prefix_tree",
+    "generate_corpus",
+    "load_corpus_cache",
+    "log_sessions",
     "mq_suffix",
     "mq_suffix_batch",
+    "prefix_tree_from_cache",
+    "read_jsonl_corpus",
+    "record_full_corpus",
     "rivest_schapire",
     "rpni_mealy",
     "seed_cache_from_traces",
+    "seed_oracle_from_corpus",
+    "write_jsonl_corpus",
 ]

@@ -297,7 +297,7 @@ def load_builtins() -> None:
         tcp_properties,
         toy_properties,
     )
-    from .learn import cache, equivalence, lstar, nondeterminism, ttt  # noqa: F401
+    from .learn import bulk, cache, equivalence, lstar, nondeterminism, ttt  # noqa: F401
     from .store import middleware as store_middleware  # noqa: F401
 
     _BUILTINS_LOADED = True

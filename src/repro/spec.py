@@ -240,6 +240,70 @@ class StoreSpec:
         return self
 
 
+_CORPUS_FIELDS = {"path", "skip_conflicts", "max_traces"}
+
+
+@dataclass
+class CorpusSpec:
+    """The declarative ``corpus`` section of an experiment spec.
+
+    ``path`` locates a JSONL trace corpus (see
+    :mod:`repro.learn.bulk`); when set, :func:`assemble` upgrades the
+    spec's plain ``cache`` middleware layer to the corpus-seeded
+    ``passive`` layer, so membership queries the corpus already answers
+    never reach the live SUL -- and when the spec *also* carries a
+    ``store`` section, the corpus is streamed through the store-backed
+    cache instead, persisting its observations.  ``skip_conflicts``
+    makes nondeterministic traces a counted finding rather than an
+    error; ``max_traces`` bounds the streaming read.  In dict/JSON form
+    a bare string is shorthand for a path with default knobs.
+
+    Like the executor and the store, the corpus deliberately does not
+    contribute to the SUL fingerprint: it changes where answers come
+    *from*, never what they are.
+    """
+
+    path: str
+    skip_conflicts: bool = True
+    max_traces: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "skip_conflicts": self.skip_conflicts,
+            "max_traces": self.max_traces,
+        }
+
+    @classmethod
+    def from_dict(cls, data: "CorpusSpec | str | Mapping | None") -> "CorpusSpec | None":
+        if data is None or isinstance(data, CorpusSpec):
+            return data
+        if isinstance(data, str):
+            return cls(path=data)
+        if not isinstance(data, Mapping) or "path" not in data:
+            raise SpecError(f"corpus spec needs a 'path', got {data!r}")
+        unknown = set(data) - _CORPUS_FIELDS
+        if unknown:
+            raise SpecError(f"unknown corpus spec keys: {sorted(unknown)}")
+        return cls(**{key: data[key] for key in data})
+
+    def clone(self) -> "CorpusSpec":
+        return CorpusSpec(
+            path=self.path,
+            skip_conflicts=self.skip_conflicts,
+            max_traces=self.max_traces,
+        )
+
+    def validate(self) -> "CorpusSpec":
+        if not self.path:
+            raise SpecError("corpus spec needs a non-empty path")
+        if self.max_traces is not None and self.max_traces < 1:
+            raise SpecError(
+                f"need a positive corpus max_traces, got {self.max_traces}"
+            )
+        return self
+
+
 def default_equivalence() -> list[ComponentSpec]:
     """The default EQ chain: W-method with one extra state (paper setup)."""
     return [ComponentSpec("wmethod", {"extra_states": 1})]
@@ -264,6 +328,7 @@ _SPEC_FIELDS = {
     "properties",
     "executor",
     "store",
+    "corpus",
 }
 
 
@@ -294,6 +359,7 @@ class ExperimentSpec:
     properties: PropertiesSpec | None = None
     executor: ExecutorSpec | None = None
     store: StoreSpec | None = None
+    corpus: CorpusSpec | None = None
 
     def __post_init__(self) -> None:
         self.equivalence = [ComponentSpec.from_dict(e) for e in self.equivalence]
@@ -301,6 +367,7 @@ class ExperimentSpec:
         self.properties = PropertiesSpec.from_dict(self.properties)
         self.executor = ExecutorSpec.from_dict(self.executor)
         self.store = StoreSpec.from_dict(self.store)
+        self.corpus = CorpusSpec.from_dict(self.corpus)
 
     # -- identity ----------------------------------------------------------
     def display_name(self) -> str:
@@ -365,6 +432,9 @@ class ExperimentSpec:
             "store": (
                 None if self.store is None else self.store.to_dict()
             ),
+            "corpus": (
+                None if self.corpus is None else self.corpus.to_dict()
+            ),
         }
 
     @classmethod
@@ -416,6 +486,9 @@ class ExperimentSpec:
             "store": (
                 None if self.store is None else self.store.clone()
             ),
+            "corpus": (
+                None if self.corpus is None else self.corpus.clone()
+            ),
         }
         unknown = set(overrides) - _SPEC_FIELDS
         if unknown:
@@ -462,6 +535,15 @@ class ExperimentSpec:
                 raise SpecError(
                     "a store section needs a 'cache' (or 'store') "
                     "middleware layer to back"
+                )
+        if self.corpus is not None:
+            self.corpus.validate()
+            if not any(
+                m.kind in ("cache", "store", "passive") for m in self.middleware
+            ):
+                raise SpecError(
+                    "a corpus section needs a 'cache' (or 'store'/'passive') "
+                    "middleware layer to seed"
                 )
         for registry, keys in (
             (SUL_REGISTRY, [self.target]),
@@ -562,23 +644,39 @@ def assemble(
         oracle: MembershipOracle = base_oracle
         cache_warmed = False
         store_attached = False
+        corpus_attached = False
         for component in spec.middleware:
             kind = component.kind
             params = dict(component.params)
             # The store section upgrades the first plain cache layer to
             # the store-backed one; an explicit "store" layer just gets
-            # the spec's identity defaults filled in.
+            # the spec's identity defaults filled in.  A corpus section
+            # (without a store) likewise upgrades the cache layer to the
+            # corpus-seeded "passive" one; with both, the store wins the
+            # layer and the corpus is streamed through it below.
             if kind == "cache" and spec.store is not None and not store_attached:
                 kind = "store"
+            if (
+                kind == "cache"
+                and spec.corpus is not None
+                and not corpus_attached
+            ):
+                kind = "passive"
             if kind == "store" and not store_attached:
                 if spec.store is not None:
                     params.setdefault("path", spec.store.path)
                     params.setdefault("flush_every", spec.store.flush_every)
                 params.setdefault("fingerprint", spec.sul_fingerprint())
                 store_attached = True
+            if kind == "passive" and not corpus_attached:
+                if spec.corpus is not None:
+                    params.setdefault("path", spec.corpus.path)
+                    params.setdefault("skip_conflicts", spec.corpus.skip_conflicts)
+                    params.setdefault("max_traces", spec.corpus.max_traces)
+                corpus_attached = True
             factory = MIDDLEWARE_REGISTRY.get(kind)
             if (
-                kind in ("cache", "store")
+                kind in ("cache", "store", "passive")
                 and shared_cache is not None
                 and not cache_warmed
             ):
@@ -587,6 +685,20 @@ def assemble(
             layer = factory(oracle, **params)
             layers.append(layer)
             oracle = layer
+
+        if spec.corpus is not None and not corpus_attached:
+            # Store-backed (or custom) stacks keep their cache layer;
+            # stream the corpus through its record hook instead -- with
+            # a store this persists the corpus observations
+            # (seed_cache_from_traces at bulk scale).
+            from .learn.bulk import seed_oracle_from_corpus
+            from .learn.cache import CachedMembershipOracle
+
+            for layer in layers:
+                if isinstance(layer, CachedMembershipOracle):
+                    seed_oracle_from_corpus(layer, spec.corpus)
+                    corpus_attached = True
+                    break
 
         equivalence_oracle = build_equivalence_chain(spec, oracle)
 

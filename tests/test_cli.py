@@ -153,6 +153,78 @@ class TestRunCommand:
         assert "invalid spec" in capsys.readouterr().err
 
 
+class TestPassiveCommand:
+    def test_generate_then_learn_with_artifacts(self, capsys, tmp_path):
+        corpus = tmp_path / "toy.jsonl"
+        out_dir = tmp_path / "artifacts"
+        code = main(
+            [
+                "passive", "toy",
+                "--corpus", str(corpus),
+                "--generate", "60",
+                "--out", str(out_dir),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "generated 60 session traces" in out
+        assert "passive:" in out
+        assert "refinement:" in out
+        assert (out_dir / "passive.json").exists()
+        assert (out_dir / "model.json").exists()
+        assert (out_dir / "model.dot").exists()
+        payload = json.loads((out_dir / "passive.json").read_text())
+        assert payload["corpus"]["traces"] == 60
+
+    def test_full_corpus_needs_zero_resets(self, capsys, tmp_path):
+        corpus = tmp_path / "full.jsonl"
+        code = main(["passive", "toy", "--corpus", str(corpus), "--full"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recorded covering corpus" in out
+        assert "0 SUL resets" in out
+
+    def test_no_refine_stops_at_partial(self, capsys, tmp_path):
+        corpus = tmp_path / "toy.jsonl"
+        code = main(
+            [
+                "passive", "toy",
+                "--corpus", str(corpus),
+                "--generate", "40",
+                "--no-refine",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "refinement" not in out
+
+    def test_missing_corpus_is_a_config_error(self, capsys, tmp_path):
+        assert main(["passive", "toy", "--corpus", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no corpus" in capsys.readouterr().err
+
+    def test_generate_and_full_are_exclusive(self, capsys, tmp_path):
+        code = main(
+            [
+                "passive", "toy",
+                "--corpus", str(tmp_path / "c.jsonl"),
+                "--generate", "5",
+                "--full",
+            ]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_malformed_corpus_fails_cleanly(self, capsys, tmp_path):
+        corpus = tmp_path / "bad.jsonl"
+        corpus.write_text("not json\n")
+        assert main(["passive", "toy", "--corpus", str(corpus)]) == 1
+        assert "passive run failed" in capsys.readouterr().err
+
+    def test_corpus_flag_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["passive", "toy"])
+
+
 class TestSweepCommand:
     def test_sweep_grid(self, capsys, tmp_path):
         out_dir = tmp_path / "sweep"

@@ -1,0 +1,356 @@
+"""Tests for the bulk-trace passive pipeline (corpus IO, middleware,
+passive->active refinement)."""
+
+import json
+
+import pytest
+
+from repro.core.trace import IOTrace
+from repro.framework import Prognosis
+from repro.learn.bulk import (
+    CorpusFormatError,
+    CorpusSeededCache,
+    bulk_passive_learn,
+    generate_corpus,
+    load_corpus_cache,
+    read_jsonl_corpus,
+    record_full_corpus,
+    seed_oracle_from_corpus,
+    write_jsonl_corpus,
+)
+from repro.learn.cache import QueryCache
+from repro.learn.passive import TraceConflictError
+from repro.spec import ExperimentSpec, SpecError, assemble
+from repro.store import QueryStore
+from repro.store.middleware import StoreBackedCache
+
+from repro.core.alphabet import TCPSymbol, parse_tcp_symbol
+
+SYN = TCPSymbol.make(["SYN"])
+ACK = TCPSymbol.make(["ACK"])
+SYNACK = TCPSymbol.make(["ACK", "SYN"])
+NIL = parse_tcp_symbol("NIL")
+RST = parse_tcp_symbol("RST(?,?,0)")
+
+
+def session_traces():
+    return [
+        IOTrace((SYN,), (SYNACK,)),
+        IOTrace((SYN, ACK), (SYNACK, NIL)),
+        IOTrace((ACK, ACK), (NIL, NIL)),
+    ]
+
+
+class TestCorpusIO:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        count = write_jsonl_corpus(path, session_traces())
+        assert count == 3
+        assert list(read_jsonl_corpus(path)) == session_traces()
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        write_jsonl_corpus(path, session_traces())
+        text = path.read_text().replace("\n", "\n\n")
+        path.write_text(text)
+        assert list(read_jsonl_corpus(path)) == session_traces()
+
+    def test_malformed_line_names_its_number(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        write_jsonl_corpus(path, session_traces()[:1])
+        with open(path, "a") as handle:
+            handle.write('{"inputs": "not-a-list"}\n')
+        with pytest.raises(CorpusFormatError, match="line 2"):
+            list(read_jsonl_corpus(path))
+
+    def test_non_json_line_rejected(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text("definitely not json\n")
+        with pytest.raises(CorpusFormatError, match="line 1"):
+            list(read_jsonl_corpus(path))
+
+
+class TestLoadCorpusCache:
+    def test_stats_account_for_the_pass(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        write_jsonl_corpus(path, session_traces())
+        cache, stats = load_corpus_cache(path)
+        assert stats.traces == 3
+        assert stats.tokens == 5
+        assert stats.words == cache.entries > 0
+        assert stats.skipped == []
+        assert cache.lookup((SYN, ACK)) == (SYNACK, NIL)
+
+    def test_conflicting_trace_skipped_and_reported(self):
+        traces = session_traces() + [IOTrace((SYN,), (NIL,))]
+        cache, stats = load_corpus_cache(traces)
+        assert stats.traces == 3
+        assert len(stats.skipped) == 1
+        conflict = stats.skipped[0]
+        assert conflict.trace_index == 3
+        assert conflict.cached == SYNACK
+        assert conflict.fresh == NIL
+        # The cache keeps the first-seen answer untouched.
+        assert cache.lookup((SYN,)) == (SYNACK,)
+        assert "trace_index" in conflict.to_dict()
+
+    def test_strict_mode_raises_with_trace_index(self):
+        traces = session_traces() + [IOTrace((SYN,), (NIL,))]
+        with pytest.raises(TraceConflictError) as excinfo:
+            load_corpus_cache(traces, skip_conflicts=False)
+        assert excinfo.value.trace_index == 3
+
+    def test_max_traces_truncates(self):
+        cache, stats = load_corpus_cache(session_traces(), max_traces=2)
+        assert stats.traces == 2
+        assert cache.lookup((ACK, ACK)) is None
+
+
+class TestCorpusSeededCache:
+    def test_registered_as_passive_middleware(self):
+        from repro.registry import MIDDLEWARE_REGISTRY, load_builtins
+
+        load_builtins()
+        assert "passive" in MIDDLEWARE_REGISTRY
+
+    def test_corpus_hits_counted(self, tmp_path, cached_oracle_for, toy_machine):
+        path = tmp_path / "corpus.jsonl"
+        write_jsonl_corpus(path, session_traces())
+        inner = cached_oracle_for(toy_machine).inner
+        layer = CorpusSeededCache(inner, path)
+        assert layer.corpus_words == 3
+        assert layer.corpus_skipped == 0
+        assert layer.query((SYN, ACK)) == (SYNACK, NIL)  # corpus answers
+        assert layer.corpus_hits == 1
+        assert layer.query((ACK, SYN)) is not None  # live SUL answers
+        assert layer.corpus_hits == 1
+        assert 0.0 < layer.corpus_hit_rate < 1.0
+
+    def test_conflicting_shared_cache_raises(self, tmp_path, cached_oracle_for, toy_machine):
+        from repro.learn.cache import CacheInconsistencyError
+
+        path = tmp_path / "corpus.jsonl"
+        write_jsonl_corpus(path, [IOTrace((SYN,), (NIL,))])  # wrong answer
+        shared = QueryCache()
+        shared.insert((SYN,), (SYNACK,))
+        inner = cached_oracle_for(toy_machine).inner
+        with pytest.raises(CacheInconsistencyError):
+            CorpusSeededCache(inner, path, cache=shared)
+
+
+class TestSpecWiring:
+    def test_corpus_section_upgrades_cache_to_passive(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        write_jsonl_corpus(path, [])
+        spec = ExperimentSpec(
+            target="toy", middleware=["cache"], corpus=str(path)
+        )
+        pipeline = assemble(spec)
+        try:
+            assert isinstance(pipeline.middleware[0], CorpusSeededCache)
+        finally:
+            close = getattr(pipeline.sul, "close", None)
+            if callable(close):
+                close()
+
+    def test_corpus_requires_a_seedable_layer(self, tmp_path):
+        spec = ExperimentSpec(
+            target="toy", middleware=[], corpus=str(tmp_path / "c.jsonl")
+        )
+        with pytest.raises(SpecError, match="corpus"):
+            spec.validate()
+
+    def test_corpus_round_trips_and_clones(self, tmp_path):
+        spec = ExperimentSpec(
+            target="toy",
+            corpus={"path": "c.jsonl", "max_traces": 10},
+        )
+        restored = ExperimentSpec.from_dict(spec.to_dict())
+        assert restored.corpus.path == "c.jsonl"
+        assert restored.corpus.max_traces == 10
+        clone = spec.clone()
+        assert clone.corpus is not spec.corpus
+        assert clone.corpus.to_dict() == spec.corpus.to_dict()
+        # The corpus changes where answers come from, never what they are.
+        assert (
+            spec.sul_fingerprint()
+            == ExperimentSpec(target="toy").sul_fingerprint()
+        )
+
+    def test_store_plus_corpus_persists_observations(self, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        write_jsonl_corpus(corpus, session_traces())
+        store = tmp_path / "store.sqlite"
+        spec = ExperimentSpec(
+            target="toy",
+            middleware=["cache"],
+            corpus=str(corpus),
+            store=str(store),
+        )
+        pipeline = assemble(spec)
+        try:
+            layer = pipeline.middleware[0]
+            assert isinstance(layer, StoreBackedCache)  # store wins the layer
+            assert layer.corpus_stats.traces == 3
+            assert layer.corpus_skipped == 0
+        finally:
+            for m in pipeline.middleware:
+                close = getattr(m, "close", None)
+                if callable(close):
+                    close()
+            close = getattr(pipeline.sul, "close", None)
+            if callable(close):
+                close()
+        with QueryStore(store) as persisted:
+            assert persisted.word_count(spec.sul_fingerprint()) >= 3
+
+    def test_seed_oracle_skips_conflicts_with_existing_answers(
+        self, cached_oracle_for, toy_machine, tmp_path
+    ):
+        from repro.spec import CorpusSpec
+
+        corpus = tmp_path / "corpus.jsonl"
+        write_jsonl_corpus(
+            corpus, [IOTrace((SYN, ACK), (NIL, NIL)), IOTrace((ACK,), (NIL,))]
+        )
+        layer = cached_oracle_for(toy_machine)
+        layer.cache.insert((SYN,), (SYNACK,))  # contradicts corpus line 1
+        stats = seed_oracle_from_corpus(layer, CorpusSpec(path=str(corpus)))
+        assert len(stats.skipped) == 1
+        assert layer.cache.lookup((SYN,)) == (SYNACK,)  # existing answer wins
+        assert layer.cache.lookup((SYN, ACK)) is None
+        assert layer.cache.lookup((ACK,)) == (NIL,)
+        assert layer.corpus_skipped == 1
+
+
+    def test_seed_oracle_strict_mode_raises(
+        self, cached_oracle_for, toy_machine, tmp_path
+    ):
+        from repro.spec import CorpusSpec
+
+        corpus = tmp_path / "corpus.jsonl"
+        write_jsonl_corpus(corpus, [IOTrace((SYN, ACK), (NIL, NIL))])
+        layer = cached_oracle_for(toy_machine)
+        layer.cache.insert((SYN,), (SYNACK,))
+        with pytest.raises(TraceConflictError):
+            seed_oracle_from_corpus(
+                layer, CorpusSpec(path=str(corpus), skip_conflicts=False)
+            )
+
+    def test_bulk_learn_through_a_store_backed_stack(self, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        store = tmp_path / "store.sqlite"
+        spec = ExperimentSpec(
+            target="toy",
+            middleware=["cache"],
+            corpus=str(corpus),
+            store=str(store),
+        )
+        generate_corpus(spec, corpus, num_sessions=50)
+        result = bulk_passive_learn(spec)
+        assert result.model.num_states == 3
+        assert result.corpus_stats.traces == 50
+        # The corpus observations were persisted through the store layer.
+        with QueryStore(store) as persisted:
+            assert persisted.word_count(spec.sul_fingerprint()) > 0
+
+
+class TestGenerateCorpus:
+    def test_generate_corpus_is_seed_deterministic(self, tmp_path):
+        spec = ExperimentSpec(target="toy", seed=3)
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert generate_corpus(spec, first, num_sessions=25) == 25
+        generate_corpus(spec, second, num_sessions=25)
+        assert first.read_text() == second.read_text()
+
+    def test_record_full_corpus_covers_the_learner(self, tmp_path):
+        corpus = tmp_path / "full.jsonl"
+        spec = ExperimentSpec(
+            target="toy", middleware=["cache"], corpus=str(corpus)
+        )
+        assert record_full_corpus(spec, corpus) > 0
+        result = bulk_passive_learn(spec)
+        # A covering corpus pre-answers everything: zero SUL resets.
+        assert result.refined.sul_resets == 0
+        assert result.refined.sul_queries == 0
+        assert result.passive_model.completeness == 1.0
+
+
+class TestBulkPipeline:
+    def test_requires_a_corpus_section(self):
+        with pytest.raises(SpecError, match="corpus"):
+            bulk_passive_learn(ExperimentSpec(target="toy"))
+
+    def test_refined_model_matches_pure_active(self, tmp_path, assert_identical_models):
+        corpus = tmp_path / "corpus.jsonl"
+        spec = ExperimentSpec(
+            target="toy", middleware=["cache"], corpus=str(corpus)
+        )
+        generate_corpus(spec, corpus, num_sessions=60)
+        result = bulk_passive_learn(spec)
+        with Prognosis.from_spec(ExperimentSpec(target="toy")) as plain:
+            active = plain.learn()
+        assert_identical_models(result.model, active.model)
+        assert result.refined.corpus_hits > 0
+        assert result.refined.corpus_hit_rate > 0.0
+
+    def test_partial_corpus_refines_undetermined_cells(self, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        # A single one-symbol session leaves most of the grid undetermined.
+        spec = ExperimentSpec(
+            target="toy", middleware=["cache"], corpus=str(corpus)
+        )
+        generate_corpus(spec, corpus, num_sessions=1, max_len=1)
+        result = bulk_passive_learn(spec)
+        assert result.targeted_queries > 0
+        assert result.passive_model.completeness < 1.0
+        assert result.model.num_states == 3  # still converges to the truth
+
+    def test_no_refine_stops_at_the_partial_machine(self, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        spec = ExperimentSpec(
+            target="toy", middleware=["cache"], corpus=str(corpus)
+        )
+        generate_corpus(spec, corpus, num_sessions=40)
+        result = bulk_passive_learn(spec, refine=False)
+        assert result.refined is None
+        assert result.model is None
+        assert result.passive_model.num_states >= 1
+        assert "refinement" not in result.summary()
+
+    def test_result_serializes(self, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        spec = ExperimentSpec(
+            target="toy", middleware=["cache"], corpus=str(corpus)
+        )
+        generate_corpus(spec, corpus, num_sessions=30)
+        result = bulk_passive_learn(spec)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["corpus"]["traces"] == 30
+        assert payload["passive_model"]["num_states"] >= 1
+        assert payload["refined"]["corpus_hits"] == result.refined.corpus_hits
+
+    def test_skipped_conflicts_reach_the_report(self, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        spec = ExperimentSpec(
+            target="toy", middleware=["cache"], corpus=str(corpus)
+        )
+        generate_corpus(spec, corpus, num_sessions=30)
+        with open(corpus, "a") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "inputs": [
+                            {"kind": "tcp", "text": "SYN(?,?,0)"},
+                        ],
+                        "outputs": [
+                            {"kind": "tcp", "text": "RST(?,?,0)"},
+                        ],
+                    }
+                )
+                + "\n"
+            )
+        result = bulk_passive_learn(spec)
+        assert len(result.corpus_stats.skipped) == 1
+        assert result.refined.corpus_skipped == 1
+        assert "skipped conflicts" in result.summary()
