@@ -1,0 +1,314 @@
+"""Attacker automata: capability-guarded adversary models over SUL alphabets.
+
+Closing the loop from *analysis* to *adversary* (ROADMAP: model-guided
+attack synthesis, in the spirit of "Verification and Attack Synthesis
+for Network Protocols" [von Hippel 2025] and the black-box attack search
+of Sosnovich et al.): an :class:`AttackerAutomaton` is a small labelled
+transition system describing what an adversary *can do* -- each
+:class:`Move` injects one input symbol of the SUL's abstract alphabet,
+is guarded by a named capability (off-path injection, plain client
+traffic, ...), and branches on the output the system answers with.  A
+set of goal states encodes the attack objective ("the connection died",
+"the server went silent mid-drain").
+
+The automaton is deliberately *not* a Mealy machine: it is partial
+(moves exist only where the adversary model grants them), its outcome
+branching is pattern-based (exact output label, ``~substring``, or the
+``*`` wildcard), and its goal states make it a reachability problem --
+:mod:`repro.attack.search` explores the product of a learned model and
+an attacker automaton for the cheapest input word that drives the
+attacker into a goal state.
+
+Built-in adversaries live in the string-keyed :data:`ATTACK_REGISTRY`
+(same :class:`~repro.registry.Registry` machinery as SUL targets, so
+unknown keys raise :class:`~repro.registry.RegistryError` listing what
+*is* registered):
+
+* ``off-path-rst`` -- classic off-path RST injection tearing down an
+  established TCP connection (the post-RST data probe draws silence);
+* ``challenge-ack-exhaust`` -- drain the challenge-ACK credit of the
+  paper's rate-limited TCP model until in-window SYNs go silent (the
+  CVE-2016-5696-style observable side channel);
+* ``rapid-reset`` -- HTTP/2 rapid-reset-style stream churn: complete a
+  request, then RST_STREAM the closed stream; the ``http2-buggy``
+  RST-on-closed quirk escalates it to a connection-killing GOAWAY;
+* ``goaway-drain`` -- HTTP/3 GOAWAY-drain abuse: a request issued
+  mid-drain must be cleanly rejected, but ``http3-buggy``'s
+  ``goaway_teardown_bug`` hard-closes and answers with dead silence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.trace import IOTrace
+from ..registry import Registry
+
+#: Matches any observed output label in a move's outcome table.
+WILDCARD = "*"
+
+#: Attacker-automaton factories, keyed like SUL targets.
+ATTACK_REGISTRY: Registry = Registry("attacker automaton")
+
+
+def match_output(pattern: str, label: str) -> bool:
+    """Outcome-pattern matching: ``*`` any, ``~frag`` substring, else exact."""
+    if pattern == WILDCARD:
+        return True
+    if pattern.startswith("~"):
+        return pattern[1:] in label
+    return pattern == label
+
+
+@dataclass(frozen=True)
+class Move:
+    """One capability-guarded attacker action: inject ``symbol``, observe.
+
+    ``outcomes`` maps observed-output patterns (tried in order; see
+    :func:`match_output`) to successor attacker states; a ``None``
+    successor prunes the branch -- the observation proves this line of
+    attack dead.  An output matching *no* pattern also prunes.  ``cost``
+    weights the move for Dijkstra search (expensive capabilities can be
+    made dearer than plain client traffic).
+    """
+
+    source: str
+    symbol: str
+    outcomes: tuple[tuple[str, str | None], ...]
+    capability: str = "client"
+    cost: float = 1.0
+
+
+@dataclass(frozen=True)
+class AttackerAutomaton:
+    """A capability-guarded adversary over a SUL's abstract input alphabet.
+
+    ``capabilities`` is the set the adversary model *grants*; moves
+    requiring anything else are disabled, so the same automaton text can
+    be re-instantiated with a weaker attacker.  ``targets`` lists the
+    SUL target keys (or family stems) the alphabet labels refer to.
+    """
+
+    name: str
+    description: str
+    initial: str
+    moves: tuple[Move, ...]
+    goals: frozenset[str]
+    capabilities: frozenset[str]
+    targets: tuple[str, ...]
+
+    def enabled(self, state: str) -> tuple[Move, ...]:
+        """The moves the granted capabilities allow from ``state``."""
+        return tuple(
+            move
+            for move in self.moves
+            if move.source == state and move.capability in self.capabilities
+        )
+
+    def outcome(self, move: Move, output_label: str) -> str | None:
+        """The successor state for an observed output (None = pruned)."""
+        for pattern, successor in move.outcomes:
+            if match_output(pattern, output_label):
+                return successor
+        return None
+
+    def is_goal(self, state: str) -> bool:
+        return state in self.goals
+
+    def applicable_to(self, target: str) -> bool:
+        """True when this adversary speaks ``target``'s alphabet.
+
+        Matches the exact target key or its ``-``-separated family stem,
+        mirroring :func:`repro.registry.resolve_property_suite`.
+        """
+        return target in self.targets or target.split("-", 1)[0] in self.targets
+
+    def observe(self, trace: IOTrace) -> bool:
+        """Lenient trace observer: did this I/O trace reach a goal?
+
+        Used to *classify* traces (live replays, ddmin candidates) rather
+        than to search: steps with no matching enabled move leave the
+        attacker state unchanged instead of pruning, and a goal once
+        reached is sticky.  Every strict search path therefore also
+        observes as a goal trace, but arbitrary subsequences can too --
+        which is exactly what witness minimization needs.
+        """
+        state = self.initial
+        for symbol, output in trace:
+            if self.is_goal(state):
+                return True
+            for move in self.enabled(state):
+                if move.symbol != str(symbol):
+                    continue
+                successor = self.outcome(move, str(output))
+                if successor is not None:
+                    state = successor
+                break
+        return self.is_goal(state)
+
+
+def resolve_attacker(name: str) -> AttackerAutomaton:
+    """Instantiate a registered attacker automaton by key.
+
+    Unknown names raise :class:`~repro.registry.RegistryError` listing
+    the registered keys, like every other component registry.
+    """
+    return ATTACK_REGISTRY.create(name)
+
+
+# ---------------------------------------------------------------------------
+# Built-in adversaries
+# ---------------------------------------------------------------------------
+
+@ATTACK_REGISTRY.register("off-path-rst")
+def off_path_rst() -> AttackerAutomaton:
+    """Off-path RST injection killing an established TCP connection.
+
+    Establish (as, or alongside, the legitimate client), inject a single
+    RST, then prove the teardown: an in-window data segment that would
+    draw an ACK from ESTABLISHED draws silence from the dead socket.
+    """
+    moves = (
+        Move(
+            "start",
+            "SYN(?,?,0)",
+            outcomes=(("~SYN", "syn-sent"), (WILDCARD, None)),
+        ),
+        Move("syn-sent", "ACK(?,?,0)", outcomes=((WILDCARD, "established"),)),
+        Move(
+            "established",
+            "RST(?,?,0)",
+            outcomes=((WILDCARD, "torn"),),
+            capability="off-path-inject",
+        ),
+        Move(
+            "torn",
+            "ACK+PSH(?,?,1)",
+            outcomes=(("NIL", "confirmed"), (WILDCARD, None)),
+        ),
+    )
+    return AttackerAutomaton(
+        name="off-path-rst",
+        description="off-path RST injection tears down an established "
+        "connection (post-RST data probe draws silence)",
+        initial="start",
+        moves=moves,
+        goals=frozenset({"confirmed"}),
+        capabilities=frozenset({"client", "off-path-inject"}),
+        targets=("tcp",),
+    )
+
+
+@ATTACK_REGISTRY.register("challenge-ack-exhaust")
+def challenge_ack_exhaust() -> AttackerAutomaton:
+    """Challenge-ACK credit exhaustion (the rate-limit side channel).
+
+    In ESTABLISHED, an in-window SYN draws a challenge ACK; the paper's
+    rate-limited model then drops the *next* one silently until data
+    replenishes the credit.  Observing that silence is the goal: it is
+    the globally observable side channel CVE-2016-5696 exploited.  The
+    un-rate-limited ``tcp-no-challenge-ack`` variant answers every SYN,
+    so the goal is unreachable there -- no false attack.
+    """
+    moves = (
+        Move(
+            "start",
+            "SYN(?,?,0)",
+            outcomes=(("~SYN", "syn-sent"), (WILDCARD, None)),
+        ),
+        Move("syn-sent", "ACK(?,?,0)", outcomes=((WILDCARD, "established"),)),
+        Move(
+            "established",
+            "SYN(?,?,0)",
+            outcomes=(("ACK(?,?,0)", "challenged"), (WILDCARD, None)),
+            capability="off-path-inject",
+        ),
+        Move(
+            "challenged",
+            "SYN(?,?,0)",
+            outcomes=(("NIL", "exhausted"), ("ACK(?,?,0)", "challenged")),
+            capability="off-path-inject",
+        ),
+    )
+    return AttackerAutomaton(
+        name="challenge-ack-exhaust",
+        description="drain the challenge-ACK credit until in-window SYNs "
+        "go silent (the rate-limit side channel)",
+        initial="start",
+        moves=moves,
+        goals=frozenset({"exhausted"}),
+        capabilities=frozenset({"client", "off-path-inject"}),
+        targets=("tcp",),
+    )
+
+
+@ATTACK_REGISTRY.register("rapid-reset")
+def rapid_reset() -> AttackerAutomaton:
+    """HTTP/2 rapid-reset-style stream churn against RST-on-closed.
+
+    Complete a request (the stream closes), then RST_STREAM the closed
+    stream.  A conformant peer ignores it (RFC 9113 section 5.1) and the
+    churn loop continues; ``http2-buggy``'s ``rst_on_closed_bug``
+    escalates it to a connection-killing GOAWAY -- the goal.
+    """
+    moves = (
+        Move(
+            "start",
+            "SETTINGS[]",
+            outcomes=(("~SETTINGS", "ready"), (WILDCARD, None)),
+        ),
+        Move(
+            "ready",
+            "HEADERS[END_HEADERS,END_STREAM]",
+            outcomes=(("~HEADERS", "closed-stream"), (WILDCARD, None)),
+        ),
+        Move(
+            "closed-stream",
+            "RST_STREAM[]",
+            outcomes=(("~GOAWAY", "torn-down"), ("NIL", "ready")),
+        ),
+    )
+    return AttackerAutomaton(
+        name="rapid-reset",
+        description="request/RST churn on closed streams; the "
+        "RST-on-closed quirk escalates to a connection-killing GOAWAY",
+        initial="start",
+        moves=moves,
+        goals=frozenset({"torn-down"}),
+        capabilities=frozenset({"client"}),
+        targets=("http2",),
+    )
+
+
+@ATTACK_REGISTRY.register("goaway-drain")
+def goaway_drain() -> AttackerAutomaton:
+    """HTTP/3 GOAWAY-drain abuse against the hard-teardown quirk.
+
+    Send GOAWAY, then a fresh request mid-drain.  A conformant server
+    drains: the late request is cleanly reset.  ``http3-buggy``'s
+    ``goaway_teardown_bug`` hard-closes instead and answers with dead
+    silence (``{}``) -- the goal.
+    """
+    moves = (
+        Move(
+            "start",
+            "SETTINGS",
+            outcomes=(("~SETTINGS", "ready"), (WILDCARD, None)),
+        ),
+        Move("ready", "GOAWAY", outcomes=((WILDCARD, "draining"),)),
+        Move(
+            "draining",
+            "HEADERS[FIN]",
+            outcomes=(("{}", "silenced"), (WILDCARD, None)),
+        ),
+    )
+    return AttackerAutomaton(
+        name="goaway-drain",
+        description="a request issued mid-drain must be cleanly "
+        "rejected; the goaway_teardown_bug answers with dead silence",
+        initial="start",
+        moves=moves,
+        goals=frozenset({"silenced"}),
+        capabilities=frozenset({"client"}),
+        targets=("http3",),
+    )

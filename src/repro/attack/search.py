@@ -1,0 +1,216 @@
+"""Strategy synthesis: Dijkstra over learned-model x attacker products.
+
+The offline half of attack synthesis.  Given a learned
+:class:`~repro.core.mealy.MealyMachine` and an
+:class:`~repro.attack.automata.AttackerAutomaton`, explore the product
+of the two transition systems -- the same pairwise product walk
+:func:`repro.analysis.equivalence.find_difference` uses, upgraded from
+BFS to Dijkstra so capability costs weight the search -- for the
+cheapest input word that drives the attacker into a goal state.  An
+optional *objective* (an LTLf formula from :mod:`repro.analysis.ltl`)
+further filters goal paths: the predicted I/O trace must VIOLATE the
+formula, tying synthesized strategies to the Property API's notion of
+"something went wrong".
+
+The result is an :class:`AttackStrategy`: the input word, the
+per-step outputs the model predicts, the path cost, and a
+ddmin-minimized witness (via
+:func:`repro.analysis.difftest.minimize_witness`) that is a
+*subsequence* of the shortest goal path -- so the minimized witness is
+never longer than the product search's own optimum.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass, field
+
+from ..analysis.difftest import minimize_witness
+from ..analysis.ltl import Formula
+from ..core.mealy import MealyMachine
+from ..core.trace import IOTrace, Word, render_word
+from ..core.alphabet import deserialize_symbol, serialize_symbol
+from .automata import AttackerAutomaton
+
+
+@dataclass(frozen=True)
+class AttackStrategy:
+    """A synthesized attack: inputs, predicted outputs, cost, provenance."""
+
+    attacker: str
+    target: str
+    word: Word
+    expected_outputs: Word
+    cost: float
+    goal: str
+    states_expanded: int
+    minimized: Word
+    objective: str | None = None
+    notes: tuple[str, ...] = field(default=())
+
+    @property
+    def trace(self) -> IOTrace:
+        return IOTrace(self.word, self.expected_outputs)
+
+    def to_dict(self) -> dict:
+        return {
+            "attacker": self.attacker,
+            "target": self.target,
+            "word": [serialize_symbol(s) for s in self.word],
+            "expected_outputs": [serialize_symbol(s) for s in self.expected_outputs],
+            "cost": self.cost,
+            "goal": self.goal,
+            "states_expanded": self.states_expanded,
+            "minimized": [serialize_symbol(s) for s in self.minimized],
+            "objective": self.objective,
+            "notes": list(self.notes),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AttackStrategy":
+        return cls(
+            attacker=data["attacker"],
+            target=data["target"],
+            word=tuple(deserialize_symbol(s) for s in data["word"]),
+            expected_outputs=tuple(
+                deserialize_symbol(s) for s in data["expected_outputs"]
+            ),
+            cost=data["cost"],
+            goal=data["goal"],
+            states_expanded=data["states_expanded"],
+            minimized=tuple(deserialize_symbol(s) for s in data["minimized"]),
+            objective=data.get("objective"),
+            notes=tuple(data.get("notes", ())),
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"attack {self.attacker} vs {self.target}: goal {self.goal!r} "
+            f"reachable (cost {self.cost:g}, "
+            f"{self.states_expanded} product states expanded)",
+            f"  strategy: {render_word(self.word)}",
+            f"  expects:  {render_word(self.expected_outputs)}",
+            f"  witness:  {render_word(self.minimized)} "
+            f"({len(self.minimized)}/{len(self.word)} steps)",
+        ]
+        if self.objective:
+            lines.append(f"  objective: violates {self.objective!r}")
+        return "\n".join(lines)
+
+
+def _objective_violated(objective: Formula | None, trace: IOTrace) -> bool:
+    """An objective filters goal paths: the trace must VIOLATE it."""
+    return objective is None or not objective.holds(trace)
+
+
+def synthesize_attack(
+    model: MealyMachine,
+    attacker: AttackerAutomaton,
+    *,
+    objective: Formula | None = None,
+    objective_text: str | None = None,
+    minimize: bool = True,
+    max_expansions: int = 100_000,
+) -> AttackStrategy | None:
+    """Search the model x attacker product for a cheapest goal path.
+
+    Returns ``None`` -- never raises -- when no goal is reachable: an
+    empty input alphabet, an attacker move whose symbol the model does
+    not speak, or a model whose behaviour prunes every line of attack
+    (the conformant-variant "no false attack" case) all land here.
+
+    Dijkstra over pairs ``(model_state, attacker_state)`` with
+    per-move costs; heap entries carry an insertion counter so ties
+    break deterministically and the same model + attacker always yields
+    the same strategy.  When ``objective`` is given, a popped goal node
+    only counts if the predicted trace violates the formula; otherwise
+    the search keeps relaxing (a later, costlier goal path may violate).
+    """
+    by_label = {str(symbol): symbol for symbol in model.input_alphabet}
+
+    start = (model.initial_state, attacker.initial)
+    # parents: product node -> (previous node, input symbol, output symbol)
+    parents: dict[tuple, tuple] = {start: (None, None, None)}
+    best: dict[tuple, float] = {start: 0.0}
+    counter = 0
+    heap: list[tuple[float, int, tuple]] = [(0.0, counter, start)]
+    expanded = 0
+
+    def reconstruct(node: tuple) -> tuple[Word, Word]:
+        word: list = []
+        outputs: list = []
+        while True:
+            prev, symbol, output = parents[node]
+            if prev is None:
+                break
+            word.append(symbol)
+            outputs.append(output)
+            node = prev
+        return tuple(reversed(word)), tuple(reversed(outputs))
+
+    while heap and expanded < max_expansions:
+        cost, _, node = heapq.heappop(heap)
+        if cost > best.get(node, float("inf")):
+            continue
+        expanded += 1
+        model_state, attacker_state = node
+        if attacker.is_goal(attacker_state):
+            word, outputs = reconstruct(node)
+            if not _objective_violated(objective, IOTrace(word, outputs)):
+                continue
+            minimized = word
+            if minimize and word:
+                minimized = _minimize(model, attacker, objective, word)
+            return AttackStrategy(
+                attacker=attacker.name,
+                target=model.name,
+                word=word,
+                expected_outputs=outputs,
+                cost=cost,
+                goal=attacker_state,
+                states_expanded=expanded,
+                minimized=minimized,
+                objective=objective_text,
+            )
+        for move in attacker.enabled(attacker_state):
+            symbol = by_label.get(move.symbol)
+            if symbol is None:
+                continue
+            next_model, output = model.step(model_state, symbol)
+            next_attacker = attacker.outcome(move, str(output))
+            if next_attacker is None:
+                continue
+            next_node = (next_model, next_attacker)
+            next_cost = cost + move.cost
+            if next_cost < best.get(next_node, float("inf")):
+                best[next_node] = next_cost
+                parents[next_node] = (node, symbol, output)
+                counter += 1
+                heapq.heappush(heap, (next_cost, counter, next_node))
+    return None
+
+
+def _minimize(
+    model: MealyMachine,
+    attacker: AttackerAutomaton,
+    objective: Formula | None,
+    word: Word,
+) -> Word:
+    """ddmin the goal word against the model's own predictions.
+
+    The predicate replays a candidate subsequence through the *model*
+    and asks the attacker's lenient observer whether the predicted trace
+    still reaches a goal (and still violates the objective).  The result
+    is a subsequence of ``word``, hence never longer than the product
+    search's shortest path.
+    """
+
+    def reaches(candidate: Word) -> bool:
+        trace = IOTrace(candidate, model.run(candidate))
+        return attacker.observe(trace) and _objective_violated(objective, trace)
+
+    return minimize_witness(word, reaches)

@@ -56,6 +56,7 @@ from .analysis.property_api import (
     resolve_properties,
 )
 from .analysis.testgen import SuiteKind, generate_test_suite
+from .attack.replay import AttackReport, run_attacks
 from .core.mealy import MealyMachine
 from .core.trace import Word
 from .framework import LearningReport, Prognosis
@@ -83,6 +84,9 @@ class RunResult:
     artifact_dir: str | None = None
     #: Property verdicts, when the spec carried a ``properties`` section.
     properties: PropertyReport | None = None
+    #: Attack synthesis/replay results, when the spec carried an
+    #: ``attack`` section.
+    attacks: AttackReport | None = None
 
     @property
     def ok(self) -> bool:
@@ -105,6 +109,11 @@ class RunResult:
             counts = self.properties.counts()
             text += (
                 f", properties {counts['holds']}/{len(self.properties)} hold"
+            )
+        if self.attacks is not None:
+            text += (
+                f", attacks {len(self.attacks.confirmed)} confirmed"
+                f"/{len(self.attacks.unreachable)} unreachable"
             )
         return text
 
@@ -256,12 +265,20 @@ class Campaign:
             ):
                 shared = self._warm_cache(spec.sul_fingerprint())
             properties_report = None
+            attack_report = None
             with Prognosis.from_spec(spec, shared_cache=shared) as prognosis:
                 report = prognosis.learn()
                 if spec.properties is not None:
                     properties_report = evaluate_spec_properties(
                         spec,
                         report.model,
+                        oracle_table=prognosis.sul.oracle_table,
+                    )
+                if spec.attack is not None:
+                    attack_report = run_attacks(
+                        spec,
+                        report.model,
+                        prognosis.oracle,
                         oracle_table=prognosis.sul.oracle_table,
                     )
                 if shared is not None and prognosis.cache_oracle is not None:
@@ -292,6 +309,7 @@ class Campaign:
             report=report,
             model=report.model,
             properties=properties_report,
+            attacks=attack_report,
         )
         if self.output_dir is not None:
             try:
@@ -316,6 +334,10 @@ class Campaign:
         if result.properties is not None:
             (directory / "properties.json").write_text(
                 json.dumps(result.properties.to_dict(), indent=2) + "\n"
+            )
+        if result.attacks is not None:
+            (directory / "attacks.json").write_text(
+                json.dumps(result.attacks.to_dict(), indent=2) + "\n"
             )
         return directory
 

@@ -446,6 +446,79 @@ def _cmd_difftest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_attack(args: argparse.Namespace) -> int:
+    import os
+
+    from .attack.automata import resolve_attacker
+    from .campaign import Campaign
+    from .registry import RegistryError, attacks_for, resolve_targets
+    from .spec import AttackSpec, SpecError
+
+    if args.list:
+        load_builtins()
+        try:
+            expanded = resolve_targets(args.targets, exact=args.exact)
+        except RegistryError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        for target in expanded:
+            names = attacks_for(target)
+            print(f"{target}: {', '.join(names) if names else '<none>'}")
+        return 0
+
+    if args.attacker is not None:
+        try:
+            resolve_attacker(args.attacker)
+        except RegistryError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+
+    specs, error = _expand_member_specs(
+        args.targets,
+        learner=args.learner,
+        seed=args.seed,
+        sul_workers=args.workers,
+        exact=args.exact,
+        executor=args.executor,
+    )
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    for spec in specs:
+        corpus_out = None
+        if args.out:
+            corpus_out = os.path.join(
+                args.out, f"attack-{spec.display_name()}-corpus.jsonl"
+            )
+        spec.attack = AttackSpec(
+            attacker=args.attacker,
+            objective=args.objective,
+            budget=args.budget,
+            fuzz=args.fuzz,
+            max_suffix=args.max_suffix,
+            corpus_out=corpus_out,
+        )
+        try:
+            spec.validate()
+        except (SpecError, KeyError) as error:
+            print(f"invalid configuration: {error}", file=sys.stderr)
+            return 2
+
+    campaign = Campaign(specs, output_dir=args.out, store=args.store)
+    failed = False
+    for result in campaign.run():
+        if not result.ok:
+            print(f"{result.spec.display_name()}: FAILED ({result.error})")
+            failed = True
+            continue
+        print(result.attacks.render())
+        if result.artifact_dir:
+            print(f"  artifacts: {result.artifact_dir}")
+        if not result.attacks.ok:
+            failed = True
+    return 1 if failed else 0
+
+
 def _cmd_ci(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -547,6 +620,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Prognosis: closed-box protocol model learning and analysis",
+        epilog="verbs: learn (model a SUL), compare, check, properties, "
+        "issues, run, passive (bulk-trace corpora), sweep, difftest, "
+        "attack (synthesize + confirm attacker strategies), ci, store",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     targets = _known_targets()
@@ -777,6 +853,77 @@ def build_parser() -> argparse.ArgumentParser:
     difftest.add_argument("--executor", **executor_kwargs)
     difftest.add_argument("--store", **store_kwargs)
     difftest.set_defaults(func=_cmd_difftest)
+
+    attack = sub.add_parser(
+        "attack",
+        help="model-guided attack synthesis: search the learned-model x "
+        "attacker-automaton product for goal strategies, replay them "
+        "against the live SUL (CONFIRMED/REFUTED/DIVERGED), optionally "
+        "fuzz the model's frontier states",
+    )
+    attack.add_argument(
+        "targets",
+        nargs="+",
+        metavar="target|family|spec.json",
+        help="a registered target, a family (e.g. 'tcp'), or an "
+        "ExperimentSpec JSON file (mixable)",
+    )
+    attack.add_argument(
+        "--attacker",
+        metavar="NAME",
+        help="pin one registered attacker automaton (default: every "
+        "automaton applicable to each target)",
+    )
+    attack.add_argument(
+        "--objective",
+        metavar="LTLF",
+        help="an LTLf formula the attack trace must violate "
+        "(e.g. 'G (out != NIL)')",
+    )
+    attack.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        help="fuzzer word budget (default 200)",
+    )
+    attack.add_argument(
+        "--fuzz",
+        action="store_true",
+        help="also fuzz the model's frontier states; divergences join "
+        "the attack corpus",
+    )
+    attack.add_argument(
+        "--max-suffix",
+        type=int,
+        default=4,
+        help="longest random fuzz suffix (default 4)",
+    )
+    attack.add_argument(
+        "--list",
+        action="store_true",
+        help="list the attacker automata applicable to each target and exit",
+    )
+    attack.add_argument("--learner", choices=learners, default="ttt")
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument(
+        "--exact",
+        action="store_true",
+        help="treat every name as an exact target; never expand families",
+    )
+    attack.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="SUL pool size within each run",
+    )
+    attack.add_argument("--executor", **executor_kwargs)
+    attack.add_argument("--store", **store_kwargs)
+    attack.add_argument(
+        "--out",
+        help="write attacks.json artifacts and confirmed-attack corpora "
+        "under this directory",
+    )
+    attack.set_defaults(func=_cmd_attack)
 
     ci = sub.add_parser(
         "ci",

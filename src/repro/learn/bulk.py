@@ -95,11 +95,21 @@ class CorpusStats:
 # Corpus IO
 # ---------------------------------------------------------------------------
 
-def write_jsonl_corpus(path, traces: Iterable[IOTrace]) -> int:
-    """Write traces as one-JSON-object-per-line; returns the count."""
+def write_jsonl_corpus(path, traces: Iterable) -> int:
+    """Write traces as one-JSON-object-per-line; returns the count.
+
+    ``traces`` is either an iterable of :class:`IOTrace` (written in
+    arrival order) or of ``(index, IOTrace)`` pairs -- the form attack
+    replay emits -- which are **sorted by index before writing**, so a
+    corpus assembled from concurrently confirmed strategies always
+    round-trips through :func:`stream_corpus` in the same trace order.
+    """
+    entries = list(traces)
+    if entries and not isinstance(entries[0], IOTrace):
+        entries = [trace for _, trace in sorted(entries, key=lambda e: e[0])]
     count = 0
     with open(path, "w") as handle:
-        for trace in traces:
+        for trace in entries:
             handle.write(
                 json.dumps(
                     {
@@ -143,6 +153,20 @@ def iter_corpus(source) -> Iterator[IOTrace]:
         yield from read_jsonl_corpus(source)
     else:
         yield from source
+
+
+def stream_corpus(source, max_traces: int | None = None) -> Iterator[IOTrace]:
+    """The public streaming reader: traces in deterministic file order.
+
+    A thin, bounded wrapper over :func:`iter_corpus`: traces come back
+    exactly in corpus order (which :func:`write_jsonl_corpus` made
+    index-sorted for pair-form writers), and ``max_traces`` caps the
+    read without consuming the rest of the file.
+    """
+    for index, trace in enumerate(iter_corpus(source)):
+        if max_traces is not None and index >= max_traces:
+            return
+        yield trace
 
 
 def load_corpus_cache(

@@ -186,6 +186,24 @@ def resolve_property_suite(target: str):
     return None
 
 
+def attacks_for(target: str) -> tuple[str, ...]:
+    """Attacker-automaton keys applicable to a SUL target, in key order.
+
+    Applicability matches the exact target key or its ``-``-separated
+    family stem (the :meth:`Registry.families` grouping), so ``tcp`` and
+    ``tcp-no-challenge-ack`` both find the TCP adversaries.  Returns an
+    empty tuple -- not an error -- for targets no adversary speaks.
+    """
+    load_builtins()
+    from .attack.automata import ATTACK_REGISTRY
+
+    return tuple(
+        name
+        for name in ATTACK_REGISTRY.names()
+        if ATTACK_REGISTRY.create(name).applicable_to(target)
+    )
+
+
 def resolve_targets(
     names: Sequence[str],
     exact: bool = False,
@@ -297,6 +315,7 @@ def load_builtins() -> None:
         tcp_properties,
         toy_properties,
     )
+    from .attack import automata as attack_automata  # noqa: F401
     from .learn import bulk, cache, equivalence, lstar, nondeterminism, ttt  # noqa: F401
     from .store import middleware as store_middleware  # noqa: F401
 

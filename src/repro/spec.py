@@ -304,6 +304,99 @@ class CorpusSpec:
         return self
 
 
+_ATTACK_FIELDS = {
+    "attacker",
+    "objective",
+    "budget",
+    "fuzz",
+    "max_suffix",
+    "corpus_out",
+}
+
+
+@dataclass
+class AttackSpec:
+    """The declarative ``attack`` section of an experiment spec.
+
+    Opting in makes a campaign run :func:`repro.attack.replay.run_attacks`
+    after learning: synthesize attacker strategies offline from the
+    learned model, replay them against the live SUL, and (with ``fuzz``)
+    barrage the model's frontier states.  ``attacker`` pins one
+    :data:`~repro.attack.automata.ATTACK_REGISTRY` key (default: every
+    automaton applicable to the target); ``objective`` is an optional
+    LTLf formula the attack trace must *violate*; ``budget`` and
+    ``max_suffix`` bound the fuzzer; ``corpus_out`` writes confirmed
+    attacks (and fuzz divergences) as a JSONL corpus.  In dict/JSON form
+    a bare string is shorthand for an attacker key with default knobs.
+
+    Like the executor, the section never contributes to the SUL
+    fingerprint: attacks change what is *asked* after learning, not what
+    the system answers.
+    """
+
+    attacker: str | None = None
+    objective: str | None = None
+    budget: int = 200
+    fuzz: bool = False
+    max_suffix: int = 4
+    corpus_out: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "attacker": self.attacker,
+            "objective": self.objective,
+            "budget": self.budget,
+            "fuzz": self.fuzz,
+            "max_suffix": self.max_suffix,
+            "corpus_out": self.corpus_out,
+        }
+
+    @classmethod
+    def from_dict(cls, data: "AttackSpec | str | Mapping | None") -> "AttackSpec | None":
+        if data is None or isinstance(data, AttackSpec):
+            return data
+        if isinstance(data, str):
+            return cls(attacker=data)
+        if not isinstance(data, Mapping):
+            raise SpecError(f"attack spec must be a mapping, got {data!r}")
+        unknown = set(data) - _ATTACK_FIELDS
+        if unknown:
+            raise SpecError(f"unknown attack spec keys: {sorted(unknown)}")
+        return cls(**{key: data[key] for key in data})
+
+    def clone(self) -> "AttackSpec":
+        return AttackSpec(
+            attacker=self.attacker,
+            objective=self.objective,
+            budget=self.budget,
+            fuzz=self.fuzz,
+            max_suffix=self.max_suffix,
+            corpus_out=self.corpus_out,
+        )
+
+    def validate(self) -> "AttackSpec":
+        if self.budget < 1:
+            raise SpecError(f"need a positive attack budget, got {self.budget}")
+        if self.max_suffix < 1:
+            raise SpecError(
+                f"need a positive attack max_suffix, got {self.max_suffix}"
+            )
+        if self.attacker is not None:
+            from .attack.automata import ATTACK_REGISTRY
+
+            ATTACK_REGISTRY.get(self.attacker)  # raises RegistryError
+        if self.objective is not None:
+            from .analysis.ltl import LTLError, parse_ltl
+
+            try:
+                parse_ltl(self.objective)
+            except LTLError as error:
+                raise SpecError(
+                    f"bad attack objective {self.objective!r}: {error}"
+                ) from error
+        return self
+
+
 def default_equivalence() -> list[ComponentSpec]:
     """The default EQ chain: W-method with one extra state (paper setup)."""
     return [ComponentSpec("wmethod", {"extra_states": 1})]
@@ -329,6 +422,7 @@ _SPEC_FIELDS = {
     "executor",
     "store",
     "corpus",
+    "attack",
 }
 
 
@@ -360,6 +454,7 @@ class ExperimentSpec:
     executor: ExecutorSpec | None = None
     store: StoreSpec | None = None
     corpus: CorpusSpec | None = None
+    attack: AttackSpec | None = None
 
     def __post_init__(self) -> None:
         self.equivalence = [ComponentSpec.from_dict(e) for e in self.equivalence]
@@ -368,6 +463,7 @@ class ExperimentSpec:
         self.executor = ExecutorSpec.from_dict(self.executor)
         self.store = StoreSpec.from_dict(self.store)
         self.corpus = CorpusSpec.from_dict(self.corpus)
+        self.attack = AttackSpec.from_dict(self.attack)
 
     # -- identity ----------------------------------------------------------
     def display_name(self) -> str:
@@ -435,6 +531,9 @@ class ExperimentSpec:
             "corpus": (
                 None if self.corpus is None else self.corpus.to_dict()
             ),
+            "attack": (
+                None if self.attack is None else self.attack.to_dict()
+            ),
         }
 
     @classmethod
@@ -488,6 +587,9 @@ class ExperimentSpec:
             ),
             "corpus": (
                 None if self.corpus is None else self.corpus.clone()
+            ),
+            "attack": (
+                None if self.attack is None else self.attack.clone()
             ),
         }
         unknown = set(overrides) - _SPEC_FIELDS
@@ -545,6 +647,8 @@ class ExperimentSpec:
                     "a corpus section needs a 'cache' (or 'store'/'passive') "
                     "middleware layer to seed"
                 )
+        if self.attack is not None:
+            self.attack.validate()
         for registry, keys in (
             (SUL_REGISTRY, [self.target]),
             (LEARNER_REGISTRY, [self.learner]),

@@ -1,0 +1,152 @@
+"""Attacker-automaton formalism: pattern matching, capabilities, observers."""
+
+import pytest
+
+from repro.attack.automata import (
+    ATTACK_REGISTRY,
+    AttackerAutomaton,
+    Move,
+    match_output,
+    resolve_attacker,
+)
+from repro.core.alphabet import TCPSymbol, parse_tcp_symbol
+from repro.core.trace import IOTrace
+from repro.registry import RegistryError, attacks_for
+
+SYN = TCPSymbol.make(["SYN"])
+ACK = TCPSymbol.make(["ACK"])
+SYNACK = TCPSymbol.make(["ACK", "SYN"])
+NIL = parse_tcp_symbol("NIL")
+
+
+def tiny_attacker(capabilities=("client", "inject")) -> AttackerAutomaton:
+    """start --SYN/SYN+ACK--> in, in --ACK[inject]/NIL--> goal."""
+    return AttackerAutomaton(
+        name="tiny",
+        description="two-step toy adversary",
+        initial="start",
+        moves=(
+            Move("start", "SYN(?,?,0)", outcomes=(("~SYN", "in"), ("*", None))),
+            Move(
+                "in",
+                "ACK(?,?,0)",
+                outcomes=(("NIL", "goal"),),
+                capability="inject",
+            ),
+        ),
+        goals=frozenset({"goal"}),
+        capabilities=frozenset(capabilities),
+        targets=("tcp",),
+    )
+
+
+class TestOutputMatching:
+    def test_wildcard_matches_anything(self):
+        assert match_output("*", "GOAWAY[]")
+        assert match_output("*", "")
+
+    def test_substring_pattern(self):
+        assert match_output("~SYN", "ACK+SYN(?,?,0)")
+        assert not match_output("~SYN", "ACK(?,?,0)")
+
+    def test_exact_pattern(self):
+        assert match_output("NIL", "NIL")
+        assert not match_output("NIL", "NIL2")
+
+    def test_first_matching_outcome_wins(self):
+        move = Move("s", "SYN(?,?,0)", outcomes=(("~ACK", "a"), ("*", "b")))
+        attacker = tiny_attacker()
+        assert attacker.outcome(move, "ACK+SYN(?,?,0)") == "a"
+        assert attacker.outcome(move, "RST(?,?,0)") == "b"
+
+    def test_no_matching_outcome_prunes(self):
+        move = Move("s", "SYN(?,?,0)", outcomes=(("NIL", "a"),))
+        assert tiny_attacker().outcome(move, "RST(?,?,0)") is None
+
+
+class TestCapabilities:
+    def test_enabled_filters_by_capability(self):
+        weak = tiny_attacker(capabilities=("client",))
+        assert [m.symbol for m in weak.enabled("start")] == ["SYN(?,?,0)"]
+        assert weak.enabled("in") == ()  # inject not granted
+
+    def test_full_capabilities_enable_all_moves(self):
+        strong = tiny_attacker()
+        assert [m.symbol for m in strong.enabled("in")] == ["ACK(?,?,0)"]
+
+
+class TestObserve:
+    def test_goal_trace_observed(self):
+        trace = IOTrace((SYN, ACK), (SYNACK, NIL))
+        assert tiny_attacker().observe(trace)
+
+    def test_non_goal_trace_rejected(self):
+        trace = IOTrace((ACK, ACK), (NIL, NIL))
+        assert not tiny_attacker().observe(trace)
+
+    def test_lenient_on_unmatched_steps(self):
+        # A padded trace (extra ACK up front, extra SYN in the middle)
+        # still reaches the goal: unmatched steps stay put, they never
+        # prune.  This is what makes ddmin subsequence shrinking sound.
+        trace = IOTrace(
+            (ACK, SYN, SYN, ACK),
+            (NIL, SYNACK, SYNACK, NIL),
+        )
+        assert tiny_attacker().observe(trace)
+
+    def test_goal_is_sticky(self):
+        trace = IOTrace((SYN, ACK, SYN), (SYNACK, NIL, NIL))
+        assert tiny_attacker().observe(trace)
+
+    def test_weak_attacker_cannot_observe_goal(self):
+        trace = IOTrace((SYN, ACK), (SYNACK, NIL))
+        assert not tiny_attacker(capabilities=("client",)).observe(trace)
+
+
+class TestApplicability:
+    def test_exact_target(self):
+        assert tiny_attacker().applicable_to("tcp")
+
+    def test_family_stem(self):
+        assert tiny_attacker().applicable_to("tcp-no-challenge-ack")
+
+    def test_other_family_rejected(self):
+        assert not tiny_attacker().applicable_to("http2-buggy")
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = set(ATTACK_REGISTRY.names())
+        assert {
+            "off-path-rst",
+            "challenge-ack-exhaust",
+            "rapid-reset",
+            "goaway-drain",
+        } <= names
+
+    def test_unknown_attacker_lists_registered_keys(self):
+        with pytest.raises(RegistryError) as err:
+            resolve_attacker("nope")
+        message = str(err.value)
+        assert "nope" in message
+        assert "off-path-rst" in message
+        assert "attacker automaton" in message
+
+    def test_attacks_for_tcp_family(self):
+        assert attacks_for("tcp") == ("off-path-rst", "challenge-ack-exhaust")
+        assert attacks_for("tcp-no-challenge-ack") == attacks_for("tcp")
+
+    def test_attacks_for_http_variants(self):
+        assert attacks_for("http2-buggy") == ("rapid-reset",)
+        assert attacks_for("http3-buggy") == ("goaway-drain",)
+
+    def test_attacks_for_unknown_target_is_empty_not_an_error(self):
+        assert attacks_for("dns") == ()
+
+    def test_builtin_automata_have_reachable_goal_structure(self):
+        for name in ("off-path-rst", "challenge-ack-exhaust", "rapid-reset",
+                     "goaway-drain"):
+            attacker = resolve_attacker(name)
+            assert attacker.name == name
+            assert attacker.goals
+            assert attacker.enabled(attacker.initial)

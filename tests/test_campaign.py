@@ -162,6 +162,33 @@ class TestPropertyVerdicts:
         )
         assert violated["witness"]["inputs"] == ["SYN(?,?,0)"]
 
+    def test_attack_section_evaluated_and_written(self, tmp_path):
+        from repro.spec import AttackSpec
+
+        result = run_spec(
+            ExperimentSpec(
+                target="tcp",
+                name="tcp",
+                attack=AttackSpec(attacker="challenge-ack-exhaust"),
+            ),
+            output_dir=tmp_path,
+        )
+        assert result.ok
+        assert result.attacks is not None
+        assert result.attacks.ok
+        assert [r.verdict for r in result.attacks.results] == ["CONFIRMED"]
+        assert "attacks 1 confirmed/0 unreachable" in result.summary()
+        data = json.loads(
+            (Path(result.artifact_dir) / "attacks.json").read_text()
+        )
+        assert data["ok"] is True
+        assert data["results"][0]["verdict"] == "CONFIRMED"
+
+    def test_spec_without_attack_section_skips_it(self, tmp_path):
+        result = run_spec(ExperimentSpec(target="toy"), output_dir=tmp_path)
+        assert result.attacks is None
+        assert not (Path(result.artifact_dir) / "attacks.json").exists()
+
     def test_oracle_kind_sees_the_runs_oracle_table(self):
         from repro.campaign import Campaign
         from repro.spec import PropertiesSpec

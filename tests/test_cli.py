@@ -624,3 +624,62 @@ class TestStoreCommand:
         assert "removed" in capsys.readouterr().out
         assert main(["store", str(store), "--stats"]) == 0
         assert "empty store" in capsys.readouterr().out
+
+
+class TestAttackCommand:
+    def test_help_epilog_lists_every_verb(self):
+        text = build_parser().format_help()
+        for verb in ("learn", "compare", "check", "properties", "issues",
+                     "run", "passive", "sweep", "difftest", "attack", "ci",
+                     "store"):
+            assert verb in text
+
+    def test_family_confirms_and_spares_the_conformant_variant(self, capsys):
+        code = main(["attack", "tcp", "--attacker", "challenge-ack-exhaust"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # One invocation covers the family: CONFIRMED on the rate-limited
+        # target, goal unreachable (no false attack) on the ablation.
+        assert "attack tcp: 1 confirmed" in out
+        assert "CONFIRMED" in out
+        assert "tcp-no-challenge-ack: 0 confirmed, 1 unreachable" in out
+        assert "no false attack" in out
+
+    def test_unknown_attacker_exits_2_with_known_keys(self, capsys):
+        code = main(["attack", "tcp", "--attacker", "ghost"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "ghost" in err
+        assert "off-path-rst" in err
+
+    def test_unknown_target_exits_2(self, capsys):
+        assert main(["attack", "smtp"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_list_prints_applicable_attackers(self, capsys):
+        code = main(["attack", "http2-buggy", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "http2-buggy: rapid-reset" in out
+
+    def test_fuzz_with_artifacts_and_corpus(self, capsys, tmp_path):
+        out_dir = tmp_path / "attacks"
+        code = main([
+            "attack", "http2-buggy", "--fuzz", "--budget", "50",
+            "--out", str(out_dir),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fuzz 0 divergences/50 words" in out
+        data = json.loads(
+            (out_dir / "000-http2-buggy" / "attacks.json").read_text()
+        )
+        assert data["ok"] is True
+        assert data["fuzz"]["words_sent"] == 50
+        corpus = out_dir / "attack-http2-buggy-corpus.jsonl"
+        assert corpus.exists()
+        assert len(corpus.read_text().splitlines()) == 1  # confirmed attack
+
+    def test_objective_flag_validated(self, capsys):
+        assert main(["attack", "tcp", "--objective", "G (("]) == 2
+        assert "bad attack objective" in capsys.readouterr().err

@@ -16,6 +16,7 @@ from repro.learn.bulk import (
     read_jsonl_corpus,
     record_full_corpus,
     seed_oracle_from_corpus,
+    stream_corpus,
     write_jsonl_corpus,
 )
 from repro.learn.cache import QueryCache
@@ -104,6 +105,32 @@ class TestLoadCorpusCache:
         cache, stats = load_corpus_cache(session_traces(), max_traces=2)
         assert stats.traces == 2
         assert cache.lookup((ACK, ACK)) is None
+
+
+class TestIndexedCorpusOrdering:
+    """Regression: attack-emitted (index, trace) corpora replay in order."""
+
+    def test_pairs_sorted_by_index_before_write(self, tmp_path):
+        traces = session_traces()
+        # Arrival order scrambled (concurrently confirmed strategies):
+        # the file must still come out index-sorted.
+        pairs = [(2, traces[2]), (0, traces[0]), (1, traces[1])]
+        path = tmp_path / "corpus.jsonl"
+        assert write_jsonl_corpus(path, pairs) == 3
+        assert list(stream_corpus(path)) == traces
+
+    def test_bare_traces_keep_arrival_order(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        write_jsonl_corpus(path, session_traces())
+        assert list(stream_corpus(path)) == session_traces()
+
+    def test_stream_corpus_caps_the_read(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        write_jsonl_corpus(path, session_traces())
+        assert list(stream_corpus(path, max_traces=2)) == session_traces()[:2]
+
+    def test_stream_corpus_accepts_in_memory_iterables(self):
+        assert list(stream_corpus(session_traces())) == session_traces()
 
 
 class TestCorpusSeededCache:

@@ -9,6 +9,7 @@ from repro.registry import (
     Registry,
     RegistryError,
     SUL_REGISTRY,
+    attacks_for,
     load_builtins,
     resolve_targets,
     supported_kwargs,
@@ -180,3 +181,25 @@ class TestBuiltins:
 
         params = {"seed": 7, "batch_size": 64}
         assert supported_kwargs(factory, params) == params
+
+
+class TestAttacksFor:
+    """The per-target attacker discovery the CLI/campaign lean on."""
+
+    def test_family_stem_resolution(self):
+        assert attacks_for("tcp") == ("off-path-rst", "challenge-ack-exhaust")
+        assert attacks_for("tcp-no-challenge-ack") == attacks_for("tcp")
+        assert attacks_for("http2-buggy") == ("rapid-reset",)
+
+    def test_unspoken_target_is_empty_not_an_error(self):
+        assert attacks_for("quic-google") == ()
+        assert attacks_for("toy") == ()
+
+    def test_unknown_attacker_error_lists_registered_keys(self):
+        from repro.attack.automata import ATTACK_REGISTRY
+
+        with pytest.raises(RegistryError) as err:
+            ATTACK_REGISTRY.get("quantum-leap")
+        message = str(err.value)
+        assert "quantum-leap" in message
+        assert "challenge-ack-exhaust" in message

@@ -391,3 +391,63 @@ class TestPrognosisFacade:
         data = json.loads(json.dumps(report.to_dict()))
         assert data["num_states"] == 3
         assert data["eq_attribution"]["wmethod"]["words_submitted"] > 0
+
+
+class TestAttackSpec:
+    def test_round_trips_losslessly(self):
+        from repro.spec import AttackSpec
+
+        spec = ExperimentSpec(
+            target="toy",
+            attack=AttackSpec(
+                attacker="off-path-rst",
+                objective="G (out != NIL)",
+                budget=50,
+                fuzz=True,
+                max_suffix=3,
+                corpus_out="attacks.jsonl",
+            ),
+        )
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.attack.attacker == "off-path-rst"
+        assert restored.attack.fuzz is True
+        assert restored.attack.clone() == restored.attack
+
+    def test_string_shorthand_is_an_attacker_key(self):
+        spec = ExperimentSpec(target="toy", attack="rapid-reset")
+        assert spec.attack.attacker == "rapid-reset"
+        assert spec.attack.budget == 200
+        assert spec.attack.fuzz is False
+
+    def test_absent_section_stays_none_and_serializes(self):
+        spec = ExperimentSpec(target="toy")
+        assert spec.attack is None
+        assert spec.to_dict()["attack"] is None
+        assert ExperimentSpec.from_dict(spec.to_dict()).attack is None
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SpecError, match="unknown attack spec keys"):
+            ExperimentSpec(target="toy", attack={"attacker": "x", "laser": 1})
+
+    def test_validate_rejects_bad_knobs(self):
+        with pytest.raises(SpecError, match="positive attack budget"):
+            ExperimentSpec(target="toy", attack={"budget": 0}).validate()
+        with pytest.raises(SpecError, match="positive attack max_suffix"):
+            ExperimentSpec(target="toy", attack={"max_suffix": 0}).validate()
+
+    def test_validate_rejects_unknown_attacker(self):
+        with pytest.raises(RegistryError, match="attacker automaton"):
+            ExperimentSpec(target="toy", attack="not-an-attack").validate()
+
+    def test_validate_rejects_bad_objective(self):
+        with pytest.raises(SpecError, match="bad attack objective"):
+            ExperimentSpec(
+                target="toy", attack={"objective": "G (("}
+            ).validate()
+
+    def test_clone_carries_the_section(self):
+        spec = ExperimentSpec(target="toy", attack="off-path-rst")
+        clone = spec.clone(seed=3)
+        assert clone.attack == spec.attack
+        assert clone.attack is not spec.attack  # independent copy
